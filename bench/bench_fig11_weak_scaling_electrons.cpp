@@ -1,0 +1,69 @@
+// Paper Fig 11: electrons weak scaling — relative efficiency at fixed m/node
+// and peak relative efficiency, for list and sparse-sparse on both machine
+// presets.
+//
+// Shapes to reproduce: efficiency gained only at the largest problem sizes;
+// sparse-sparse does not scale on Blue Waters but is marginally better on
+// Stampede2; the list algorithm suffers from communication (BW) and
+// transposition (S2) overheads on the many-small-blocks workload.
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+void panel(const char* title, const tt::rt::MachineModel& machine, int ppn) {
+  using namespace tt;
+  auto electrons = bench::Workload::electrons();
+  const auto ms = bench::electron_ms();
+  const auto base = bench::baseline(electrons, machine, ms.front());
+
+  Table t(title);
+  t.header({"engine", "m", "nodes", "GF/s/node", "rel efficiency"});
+  for (auto kind : {dmrg::EngineKind::kList, dmrg::EngineKind::kSparseSparse}) {
+    int nodes = 1;
+    for (index_t m : ms) {
+      auto k = bench::measure_step(electrons, kind, m);
+      const double secs = bench::sim_seconds(k, bench::cluster(machine, nodes, ppn));
+      const double per_node = bench::gflops_equiv(k.flops, secs) / nodes;
+      t.row({dmrg::engine_name(kind), fmt_int(bench::m_equiv(k.m_actual)), std::to_string(nodes),
+             fmt(per_node, 1),
+               fmt(per_node / bench::gflops_equiv(base.flops, base.sim_seconds), 2)});
+      nodes *= 2;
+    }
+  }
+  t.print();
+
+  Table pk("  peak relative efficiency vs node count");
+  pk.header({"engine", "nodes", "peak rel eff", "@m"});
+  for (auto kind : {dmrg::EngineKind::kList, dmrg::EngineKind::kSparseSparse}) {
+    for (int nodes : bench::node_counts(bench::full_mode() ? 32 : 8)) {
+      double best = 0.0;
+      index_t best_m = 0;
+      for (index_t m : ms) {
+        auto k = bench::measure_step(electrons, kind, m);
+        const double secs = bench::sim_seconds(k, bench::cluster(machine, nodes, ppn));
+        const double rel = bench::gflops_equiv(k.flops, secs) / nodes /
+                             bench::gflops_equiv(base.flops, base.sim_seconds);
+        if (rel > best) {
+          best = rel;
+          best_m = bench::m_equiv(k.m_actual);
+        }
+      }
+      pk.row({dmrg::engine_name(kind), std::to_string(nodes), fmt(best, 2),
+              fmt_int(best_m)});
+    }
+  }
+  pk.print();
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  panel("Fig 11 (left) — electrons weak scaling, Blue Waters (16/node)",
+        tt::rt::blue_waters(), 16);
+  panel("Fig 11 (right) — electrons weak scaling, Stampede2 (64/node)",
+        tt::rt::stampede2(), 64);
+  return 0;
+}

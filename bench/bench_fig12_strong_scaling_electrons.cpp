@@ -1,0 +1,42 @@
+// Paper Fig 12: strong scaling of the sparse-sparse algorithm for electrons
+// at fixed m, on Blue Waters (left) and Stampede2 (right).
+//
+// Shape to reproduce: close to (or apparently better than) ideal speedup at
+// the benchmark m on a few node doublings; the minimum usable node count is
+// higher on Stampede2 because the fused sparse format costs more memory than
+// the list format (paper: 4 nodes minimum vs 2 on Blue Waters).
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+void panel(const char* title, const tt::rt::MachineModel& machine, int ppn,
+           int min_nodes) {
+  using namespace tt;
+  auto electrons = bench::Workload::electrons();
+  const index_t m = bench::electron_ms().back();  // paper: m = 8192
+  auto k = bench::measure_step(electrons, dmrg::EngineKind::kSparseSparse, m);
+
+  Table t(title);
+  t.header({"nodes", "sim s", "speedup", "efficiency"});
+  const double t1 = bench::sim_seconds(k, bench::cluster(machine, min_nodes, ppn));
+  for (int nodes = min_nodes; nodes <= (bench::full_mode() ? 32 : 16); nodes *= 2) {
+    const double tn = bench::sim_seconds(k, bench::cluster(machine, nodes, ppn));
+    const double speedup = t1 / tn * min_nodes;
+    t.row({std::to_string(nodes), fmt_sci(tn, 2), fmt(speedup / min_nodes, 2),
+           fmt(speedup / nodes, 2)});
+  }
+  t.print();
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  panel("Fig 12 (left) — electrons sparse-sparse strong scaling at fixed m, Blue Waters",
+        tt::rt::blue_waters(), 16, 2);
+  panel("Fig 12 (right) — electrons sparse-sparse strong scaling at fixed m, Stampede2",
+        tt::rt::stampede2(), 64, 4);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Google-benchmark microbenches for the computational substrates: GEMM,
+// tensor permutation (HPTT stand-in), einsum contraction (dense and sparse),
+// SVD, and block-sparse contraction (Alg. 2). These measure real host
+// throughput — the numbers behind the wall-clock columns of the figure
+// benches.
+#include <benchmark/benchmark.h>
+
+#include "linalg/gemm.hpp"
+#include "linalg/svd.hpp"
+#include "symm/block_ops.hpp"
+#include "tensor/einsum.hpp"
+#include "mps/mps.hpp"
+#include "models/spin_half.hpp"
+#include "models/electron.hpp"
+
+namespace {
+
+using tt::Rng;
+using tt::index_t;
+
+void BM_Gemm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(1);
+  auto a = tt::linalg::Matrix::random(n, n, rng);
+  auto b = tt::linalg::Matrix::random(n, n, rng);
+  tt::linalg::Matrix c(n, n);
+  for (auto _ : state) {
+    tt::linalg::gemm(false, false, 1.0, a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_Permute(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(2);
+  auto t = tt::tensor::DenseTensor::random({n, n, 8, 4}, rng);
+  for (auto _ : state) {
+    auto p = t.permuted({3, 1, 0, 2});
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetBytesProcessed(state.iterations() * t.size() *
+                          static_cast<int64_t>(sizeof(double)) * 2);
+}
+BENCHMARK(BM_Permute)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_EinsumDense(benchmark::State& state) {
+  const index_t m = state.range(0);
+  Rng rng(3);
+  // Environment-style contraction L(a,k,b)·x(b,s,t,c).
+  auto l = tt::tensor::DenseTensor::random({m, 16, m}, rng);
+  auto x = tt::tensor::DenseTensor::random({m, 2, 2, m}, rng);
+  for (auto _ : state) {
+    auto y = tt::tensor::einsum("akb,bstc->akstc", l, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_EinsumDense)->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_EinsumSparse(benchmark::State& state) {
+  const index_t m = state.range(0);
+  Rng rng(4);
+  tt::tensor::DenseTensor dl({m, 16, m});
+  tt::tensor::DenseTensor dx({m, 2, 2, m});
+  for (index_t i = 0; i < dl.size(); ++i)
+    if (rng.uniform() < 0.2) dl[i] = rng.normal();
+  for (index_t i = 0; i < dx.size(); ++i)
+    if (rng.uniform() < 0.2) dx[i] = rng.normal();
+  auto sl = tt::tensor::SparseTensor::from_dense(dl);
+  auto sx = tt::tensor::SparseTensor::from_dense(dx);
+  for (auto _ : state) {
+    auto y = tt::tensor::einsum_ss("akb,bstc->akstc", sl, sx);
+    benchmark::DoNotOptimize(y.nnz());
+  }
+}
+BENCHMARK(BM_EinsumSparse)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_Svd(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(5);
+  auto a = tt::linalg::Matrix::random(2 * n, n, rng);
+  for (auto _ : state) {
+    auto f = tt::linalg::svd(a);
+    benchmark::DoNotOptimize(f.s.data());
+  }
+}
+BENCHMARK(BM_Svd)->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_BlockContract(benchmark::State& state) {
+  const index_t m = state.range(0);
+  Rng rng(6);
+  auto sites = tt::models::spin_half_sites(12);
+  auto psi = tt::mps::Mps::random(sites, tt::symm::QN(0), m, rng);
+  const auto& a = psi.site(5);
+  const auto& b = psi.site(6);
+  for (auto _ : state) {
+    auto c = tt::symm::contract(a, b, {{2, 0}});
+    benchmark::DoNotOptimize(c.num_blocks());
+  }
+}
+BENCHMARK(BM_BlockContract)->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_BlockContractElectron(benchmark::State& state) {
+  const index_t m = state.range(0);
+  Rng rng(7);
+  auto sites = tt::models::electron_sites(10);
+  auto psi = tt::mps::Mps::random(sites, tt::symm::QN(10, 0), m, rng);
+  const auto& a = psi.site(4);
+  const auto& b = psi.site(5);
+  for (auto _ : state) {
+    auto c = tt::symm::contract(a, b, {{2, 0}});
+    benchmark::DoNotOptimize(c.num_blocks());
+  }
+}
+BENCHMARK(BM_BlockContractElectron)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

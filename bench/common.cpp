@@ -1,0 +1,208 @@
+#include "common.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hpp"
+#include "support/timer.hpp"
+
+namespace tt::bench {
+
+Workload Workload::spins(int lx, int ly, double j2) {
+  Workload w;
+  w.lat = models::square_cylinder(lx, ly, true);
+  w.sites = models::spin_half_sites(w.lat.num_sites);
+  w.h = models::heisenberg_mpo(w.sites, w.lat, 1.0, j2);
+  w.sector = symm::QN(0);
+  w.name = "spins-" + std::to_string(lx) + "x" + std::to_string(ly);
+  return w;
+}
+
+Workload Workload::electrons(int lx, int ly, double u) {
+  Workload w;
+  w.lat = models::triangular_cylinder(lx, ly);
+  w.sites = models::electron_sites(w.lat.num_sites);
+  w.h = models::hubbard_mpo(w.sites, w.lat, 1.0, u);
+  w.sector = symm::QN(w.lat.num_sites, 0);  // half filling, Sz = 0
+  w.name = "electrons-" + std::to_string(lx) + "x" + std::to_string(ly);
+  return w;
+}
+
+namespace {
+
+std::filesystem::path cache_dir() {
+  const char* env = std::getenv("TT_BENCH_CACHE");
+  return env ? std::filesystem::path(env) : std::filesystem::path("bench_cache");
+}
+
+std::string cache_key(const Workload& w, dmrg::EngineKind kind, index_t m,
+                      unsigned seed) {
+  std::ostringstream os;
+  os << "v3_" << w.name << "_" << dmrg::engine_name(kind) << "_m" << m << "_s"
+     << seed << ".txt";
+  return os.str();
+}
+
+bool load_cached(const std::filesystem::path& path, KernelMeasurement& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::size_t nrec = 0;
+  in >> out.flops >> out.wall_seconds >> out.m_actual >> out.theta_blocks >>
+      out.largest_block >> out.fill >> nrec;
+  if (!in) return false;
+  out.log.resize(nrec);
+  for (auto& r : out.log) {
+    int type = 0, layout = 0;
+    in >> type >> layout >> r.cost.flops >> r.cost.words_a >> r.cost.words_b >>
+        r.cost.words_c >> r.rows >> r.cols >> r.words;
+    r.type = static_cast<dmrg::OpRecord::Type>(type);
+    r.layout = static_cast<rt::Layout>(layout);
+  }
+  return static_cast<bool>(in);
+}
+
+void store_cached(const std::filesystem::path& path, const KernelMeasurement& k) {
+  std::error_code ec;
+  std::filesystem::create_directories(path.parent_path(), ec);
+  std::ofstream outf(path);
+  if (!outf) return;
+  outf.precision(17);
+  outf << k.flops << " " << k.wall_seconds << " " << k.m_actual << " "
+       << k.theta_blocks << " " << k.largest_block << " " << k.fill << " "
+       << k.log.size() << "\n";
+  for (const auto& r : k.log)
+    outf << static_cast<int>(r.type) << " " << static_cast<int>(r.layout) << " "
+         << r.cost.flops << " " << r.cost.words_a << " " << r.cost.words_b << " "
+         << r.cost.words_c << " " << r.rows << " " << r.cols << " " << r.words
+         << "\n";
+}
+
+}  // namespace
+
+KernelMeasurement measure_step(const Workload& w, dmrg::EngineKind kind, index_t m,
+                               unsigned seed) {
+  const auto path = cache_dir() / cache_key(w, kind, m, seed);
+  KernelMeasurement k;
+  if (load_cached(path, k)) return k;
+
+  // Grow the state to m at the middle bond (untimed, paper §VI): a random MPS
+  // with charge-path-proportional sector dims stands in for DMRG growth
+  // sweeps.
+  Rng rng(seed);
+  mps::Mps psi = mps::Mps::random(w.sites, w.sector, m, rng);
+
+  // Any cluster works here: only the replayable log and wall time matter.
+  auto engine = dmrg::make_engine(kind, {rt::blue_waters(), 1, 16});
+  dmrg::ContractionEngine* eng = engine.get();
+  dmrg::Dmrg solver(std::move(psi), w.h, std::move(engine));
+
+  const int j = solver.psi().size() / 2;
+  {
+    // Two-site tensor structure stats (paper Fig 2).
+    symm::BlockTensor theta =
+        symm::contract(solver.psi().site(j), solver.psi().site(j + 1), {{2, 0}});
+    k.theta_blocks = theta.num_blocks();
+    k.fill = theta.fill_fraction();
+  }
+  const symm::Index& bond = solver.psi().site(j).index(2);
+  for (int s = 0; s < bond.num_sectors(); ++s)
+    k.largest_block = std::max(k.largest_block, bond.sector(s).dim);
+  k.m_actual = bond.dim();
+
+  eng->set_logging(true);
+  eng->clear_log();
+  const rt::CostTracker before = eng->tracker();
+  dmrg::SweepParams params;
+  params.max_m = m;
+  params.davidson_iter = 2;  // paper production setting
+  Timer timer;
+  solver.optimize_bond(j, params, /*sweep_right=*/true);
+  k.wall_seconds = timer.seconds();
+  k.flops = eng->tracker().diff(before).flops();
+  k.log = eng->log();
+
+  store_cached(path, k);
+  return k;
+}
+
+double sim_seconds(const KernelMeasurement& k, const rt::Cluster& cluster) {
+  return replayed(k, cluster).total_time();
+}
+
+rt::CostTracker replayed(const KernelMeasurement& k, const rt::Cluster& cluster) {
+  return dmrg::replay_log(k.log, cluster, scaled_params());
+}
+
+Baseline baseline(const Workload& w, const rt::MachineModel& machine, index_t m,
+                  unsigned seed) {
+  KernelMeasurement k = measure_step(w, dmrg::EngineKind::kReference, m, seed);
+  Baseline b;
+  b.flops = k.flops;
+  b.sim_seconds = sim_seconds(k, cluster(machine, 1, 1));
+  b.gflops_rate = b.flops / b.sim_seconds / 1e9;
+  return b;
+}
+
+bool full_mode() {
+  const char* env = std::getenv("TT_BENCH_FULL");
+  return env && std::string(env) == "1";
+}
+
+double scale_factor() {
+  if (const char* env = std::getenv("TT_BENCH_SCALE")) {
+    const double sf = std::atof(env);
+    if (sf >= 1.0) return sf;
+  }
+  return 64.0;
+}
+
+rt::CostModelParams scaled_params() {
+  rt::CostModelParams p;
+  const double sf = scale_factor();
+  // The imbalance granularity is a flop count; one bench flop stands for sf³
+  // paper flops, so the threshold shrinks by the same factor.
+  p.min_flops_per_proc /= sf * sf * sf;
+  // SVD parallelism limits are judged at paper-equivalent matrix dimensions.
+  p.svd_scale = sf;
+  return p;
+}
+
+rt::Cluster cluster(const rt::MachineModel& machine, int nodes, int ppn) {
+  rt::MachineModel m = machine;
+  const double sf = scale_factor();
+  m.node_gflops /= sf * sf * sf;          // flops shrink as m³
+  m.net_bandwidth_gbs /= sf * sf;         // tensor words shrink as m²
+  m.mem_bandwidth_gbs /= sf * sf;
+  // Per-event costs (network latency, per-block mapping/launch) are paid per
+  // event at either scale: unchanged.
+  return rt::Cluster{m, nodes, ppn};
+}
+
+double gflops_equiv(double bench_flops, double sim_secs) {
+  const double sf = scale_factor();
+  return bench_flops * sf * sf * sf / sim_secs / 1e9;
+}
+
+index_t m_equiv(index_t m_bench) {
+  return static_cast<index_t>(static_cast<double>(m_bench) * scale_factor());
+}
+
+std::vector<index_t> spin_ms() {
+  if (full_mode()) return {32, 64, 128, 256, 512};
+  return {32, 64, 128};
+}
+
+std::vector<index_t> electron_ms() {
+  if (full_mode()) return {16, 32, 64, 128};
+  return {16, 32, 64};
+}
+
+std::vector<int> node_counts(int max_nodes) {
+  std::vector<int> out;
+  for (int n = 1; n <= max_nodes; n *= 2) out.push_back(n);
+  return out;
+}
+
+}  // namespace tt::bench

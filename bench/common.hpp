@@ -1,0 +1,101 @@
+// Shared machinery for the paper-reproduction benches.
+//
+// Methodology (mirrors paper §VI): an MPS is grown to the target bond
+// dimension m (untimed), then a single two-site DMRG optimization at the
+// middle bond is executed and measured — 2 Davidson matvecs, the truncated
+// SVD, and one environment update. The engine's op log is captured so the
+// BSP cost model can be replayed against any virtual cluster without
+// re-executing the numerics; measurements are cached on disk because several
+// figure benches share them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dmrg/dmrg.hpp"
+#include "models/electron.hpp"
+#include "models/heisenberg.hpp"
+#include "models/hubbard.hpp"
+#include "models/lattice.hpp"
+#include "models/spin_half.hpp"
+#include "support/table.hpp"
+
+namespace tt::bench {
+
+/// One benchmark system (the paper's "spins" or "electrons" workload).
+struct Workload {
+  std::string name;
+  models::Lattice lat;
+  mps::SiteSetPtr sites;
+  mps::Mpo h;
+  symm::QN sector;
+
+  /// J1–J2 Heisenberg cylinder at J2/J1 = 0.5 (paper: 20×10; scaled here).
+  static Workload spins(int lx = 6, int ly = 4, double j2 = 0.5);
+  /// Triangular Hubbard cylinder at U = 8.5, half filling (paper: 6×6 XC6).
+  static Workload electrons(int lx = 4, int ly = 3, double u = 8.5);
+};
+
+/// Captured execution of one two-site optimization.
+struct KernelMeasurement {
+  double flops = 0.0;      ///< charged flops of the measured step
+  double wall_seconds = 0.0;  ///< real execution time on this host
+  index_t m_actual = 0;    ///< realized bond dimension at the middle bond
+  int theta_blocks = 0;    ///< block count of the two-site tensor
+  index_t largest_block = 0;  ///< largest bond-sector dimension
+  double fill = 0.0;       ///< fused fill fraction of the two-site tensor
+  std::vector<dmrg::OpRecord> log;  ///< replayable op stream
+};
+
+/// Execute (or load from cache) one measured step.
+KernelMeasurement measure_step(const Workload& w, dmrg::EngineKind kind, index_t m,
+                               unsigned seed = 1);
+
+/// Simulated seconds of a measurement on a cluster.
+double sim_seconds(const KernelMeasurement& k, const rt::Cluster& cluster);
+
+/// Full replayed cost tracker.
+rt::CostTracker replayed(const KernelMeasurement& k, const rt::Cluster& cluster);
+
+/// Single-node baseline ("ITensor" stand-in): reference engine on one node of
+/// `machine`. gflops_rate is used for the paper's extrapolated comparisons.
+struct Baseline {
+  double flops = 0.0;
+  double sim_seconds = 0.0;
+  double gflops_rate = 0.0;
+};
+Baseline baseline(const Workload& w, const rt::MachineModel& machine, index_t m,
+                  unsigned seed = 1);
+
+/// True when TT_BENCH_FULL=1 (larger sweeps, closer to paper scale).
+bool full_mode();
+
+/// Scale factor sf between bench and paper bond dimensions (default 64, env
+/// TT_BENCH_SCALE): bench m=128 stands for paper m=8192. The simulated
+/// machine is rescaled accordingly — node rate by 1/sf³, bandwidths by 1/sf²,
+/// per-event costs (latency, block launch) unchanged — so one bench flop
+/// prices like sf³ paper flops and every reported *ratio* (efficiency,
+/// speedup, breakdown) transfers to paper scale. See DESIGN.md §2.
+double scale_factor();
+
+/// Cost-model parameters consistent with the scale transformation.
+rt::CostModelParams scaled_params();
+
+/// A virtual cluster viewed at paper scale.
+rt::Cluster cluster(const rt::MachineModel& machine, int nodes, int ppn);
+
+/// Paper-equivalent GFlop/s of a measurement on a cluster.
+double gflops_equiv(double bench_flops, double sim_secs);
+
+/// Paper-equivalent bond dimension of a bench m.
+index_t m_equiv(index_t m_bench);
+
+/// Default bond-dimension ladders (scaled stand-ins for the paper's
+/// 2^12..2^15; doubling preserved so weak-scaling shapes transfer).
+std::vector<index_t> spin_ms();
+std::vector<index_t> electron_ms();
+
+/// Virtual node counts for scaling sweeps.
+std::vector<int> node_counts(int max_nodes = 64);
+
+}  // namespace tt::bench

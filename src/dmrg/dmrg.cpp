@@ -1,0 +1,140 @@
+#include "dmrg/dmrg.hpp"
+
+#include <algorithm>
+
+#include "support/timer.hpp"
+
+namespace tt::dmrg {
+
+using symm::BlockTensor;
+
+Dmrg::Dmrg(mps::Mps psi, mps::Mpo h, std::unique_ptr<ContractionEngine> engine)
+    : psi_(std::move(psi)), h_(std::move(h)), engine_(std::move(engine)) {
+  TT_CHECK(engine_ != nullptr, "DMRG needs an engine");
+  TT_CHECK(psi_.size() == h_.size(), "MPS/MPO size mismatch");
+  TT_CHECK(psi_.size() >= 2, "two-site DMRG needs at least two sites");
+  psi_.canonicalize(0);
+  psi_.normalize();
+  // The initial environment stacks are amortized setup (every engine produces
+  // identical tensors): build them with the fast reference kernels; all
+  // in-sweep updates still run — and are charged — through the main engine.
+  auto builder = make_engine(EngineKind::kReference, engine_->cluster());
+  envs_ = std::make_unique<EnvironmentStack>(*engine_, psi_, h_, builder.get());
+}
+
+real_t Dmrg::optimize_bond(int j, const SweepParams& params, bool sweep_right) {
+  TT_CHECK(j >= 0 && j + 1 < psi_.size(), "bond " << j << " out of range");
+
+  // Two-site tensor θ(l, s1, s2, r) (paper §II.C).
+  BlockTensor theta = engine_->contract(psi_.site(j), Role::kIntermediate,
+                                        psi_.site(j + 1), Role::kIntermediate,
+                                        {{2, 0}});
+  {
+    const real_t n = theta.norm2();
+    TT_CHECK(n > 0.0, "two-site tensor vanished at bond " << j);
+    theta.scale(1.0 / n);
+  }
+
+  const BlockTensor& left = envs_->left(j);
+  const BlockTensor& right = envs_->right(j + 2);
+  const BlockTensor& w1 = h_.site(j);
+  const BlockTensor& w2 = h_.site(j + 1);
+
+  DavidsonOptions dopts;
+  dopts.max_iter = params.davidson_iter;
+  dopts.subspace = params.davidson_subspace;
+  auto apply = [&](const BlockTensor& x) {
+    return apply_two_site(*engine_, left, w1, w2, right, x);
+  };
+  DavidsonResult res = davidson(apply, std::move(theta), dopts);
+  energy_ = res.eigenvalue;
+
+  // Split and truncate (paper fig 1e); singular values move with the sweep.
+  symm::TruncParams trunc;
+  trunc.cutoff = params.cutoff;
+  trunc.max_dim = params.max_m;
+  symm::BlockSvd f = engine_->svd(res.vector, {0, 1}, trunc);
+  trunc_err_ = f.truncation_error;
+
+  if (sweep_right) {
+    psi_.set_site(j, std::move(f.u));
+    BlockTensor sv = f.s_times_vt();
+    // Keep the state normalized after truncation.
+    const real_t n = sv.norm2();
+    if (n > 0.0) sv.scale(1.0 / n);
+    psi_.set_site(j + 1, std::move(sv));
+    psi_.set_center(j + 1);
+    envs_->update_left(j, psi_, h_);
+  } else {
+    psi_.set_site(j + 1, std::move(f.vt));
+    BlockTensor us = f.u_times_s();
+    const real_t n = us.norm2();
+    if (n > 0.0) us.scale(1.0 / n);
+    psi_.set_site(j, std::move(us));
+    psi_.set_center(j);
+    envs_->update_right(j + 1, psi_, h_);
+  }
+  return res.eigenvalue;
+}
+
+SweepRecord Dmrg::sweep(const SweepParams& params) {
+  Timer timer;
+  const rt::CostTracker start = engine_->tracker();
+  real_t max_trunc = 0.0;
+
+  for (int j = 0; j + 1 < psi_.size(); ++j) {
+    optimize_bond(j, params, /*sweep_right=*/true);
+    max_trunc = std::max(max_trunc, trunc_err_);
+  }
+  for (int j = psi_.size() - 2; j >= 0; --j) {
+    optimize_bond(j, params, /*sweep_right=*/false);
+    max_trunc = std::max(max_trunc, trunc_err_);
+  }
+
+  SweepRecord rec;
+  rec.sweep = ++sweep_count_;
+  rec.energy = energy_;
+  rec.max_bond_dim = psi_.max_bond_dim();
+  rec.truncation_error = max_trunc;
+  rec.wall_seconds = timer.seconds();
+  rec.costs = engine_->tracker().diff(start);
+  records_.push_back(rec);
+  return rec;
+}
+
+real_t Dmrg::run(const std::vector<SweepParams>& schedule) {
+  TT_CHECK(!schedule.empty(), "empty sweep schedule");
+  for (const SweepParams& p : schedule) sweep(p);
+  return energy_;
+}
+
+real_t Dmrg::energy_expectation() {
+  // ⟨θ|H_eff|θ⟩ at the current center bond.
+  const int c = std::max(0, std::min(psi_.center(), psi_.size() - 2));
+  BlockTensor theta = symm::contract(psi_.site(c), psi_.site(c + 1), {{2, 0}});
+  BlockTensor htheta = apply_two_site(*engine_, envs_->left(c), h_.site(c),
+                                      h_.site(c + 1), envs_->right(c + 2), theta);
+  const real_t nn = symm::dot(theta, theta);
+  TT_CHECK(nn > 0.0, "state has zero norm");
+  return symm::dot(theta, htheta) / nn;
+}
+
+std::vector<SweepParams> standard_schedule(index_t m_first, index_t m_final,
+                                           int per_m, real_t cutoff) {
+  TT_CHECK(m_first >= 1 && m_final >= m_first, "bad schedule bounds");
+  TT_CHECK(per_m >= 1, "need at least one sweep per bond dimension");
+  std::vector<SweepParams> out;
+  for (index_t m = m_first;; m *= 2) {
+    m = std::min(m, m_final);
+    for (int s = 0; s < per_m; ++s) {
+      SweepParams p;
+      p.max_m = m;
+      p.cutoff = cutoff;
+      out.push_back(p);
+    }
+    if (m == m_final) break;
+  }
+  return out;
+}
+
+}  // namespace tt::dmrg

@@ -1,0 +1,82 @@
+// Two-site DMRG sweep driver (paper §II.C).
+//
+// Standard algorithm, identical numerics across engines: contract the two
+// center sites, solve the projected eigenproblem with Davidson through the
+// environment network, split with a truncated block SVD, absorb the singular
+// values along the sweep direction, extend the environments incrementally.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dmrg/davidson.hpp"
+#include "dmrg/engine.hpp"
+#include "dmrg/environment.hpp"
+#include "mps/mpo.hpp"
+#include "mps/mps.hpp"
+
+namespace tt::dmrg {
+
+/// Parameters of one sweep (one left-to-right + right-to-left pass).
+struct SweepParams {
+  index_t max_m = 64;        ///< bond-dimension cap
+  real_t cutoff = 1e-12;     ///< singular values <= cutoff dropped (paper §II.C)
+  int davidson_iter = 2;     ///< matvecs per two-site optimization (paper: 2)
+  int davidson_subspace = 2; ///< Davidson restart size (paper: 2)
+};
+
+/// Record of a completed sweep.
+struct SweepRecord {
+  int sweep = 0;
+  real_t energy = 0.0;
+  index_t max_bond_dim = 0;
+  real_t truncation_error = 0.0;  ///< max over bonds of Σ discarded σ²
+  double wall_seconds = 0.0;
+  rt::CostTracker costs;          ///< simulated costs of this sweep only
+};
+
+/// DMRG optimizer owning the state, Hamiltonian, engine, and environments.
+class Dmrg {
+ public:
+  /// psi is canonicalized to site 0 and normalized on construction; the right
+  /// environment stack is built immediately.
+  Dmrg(mps::Mps psi, mps::Mpo h, std::unique_ptr<ContractionEngine> engine);
+
+  /// Run the full schedule; returns the final energy.
+  real_t run(const std::vector<SweepParams>& schedule);
+
+  /// One full sweep (left-to-right then right-to-left); returns its record.
+  SweepRecord sweep(const SweepParams& params);
+
+  /// Optimize the two sites (j, j+1) once; sweep_right selects which side
+  /// absorbs the singular values. Exposed for the paper-style benches that
+  /// time individual bond optimizations. Returns the Davidson eigenvalue.
+  real_t optimize_bond(int j, const SweepParams& params, bool sweep_right);
+
+  const mps::Mps& psi() const { return psi_; }
+  const mps::Mpo& hamiltonian() const { return h_; }
+  ContractionEngine& engine() { return *engine_; }
+  const std::vector<SweepRecord>& records() const { return records_; }
+  real_t last_energy() const { return energy_; }
+  real_t last_truncation_error() const { return trunc_err_; }
+
+  /// ⟨ψ|H|ψ⟩ computed from the current environments + center sites.
+  real_t energy_expectation();
+
+ private:
+  mps::Mps psi_;
+  mps::Mpo h_;
+  std::unique_ptr<ContractionEngine> engine_;
+  std::unique_ptr<EnvironmentStack> envs_;
+  std::vector<SweepRecord> records_;
+  real_t energy_ = 0.0;
+  real_t trunc_err_ = 0.0;
+  int sweep_count_ = 0;
+};
+
+/// Convenience: geometric bond-dimension ramp-up schedule
+/// (m_first, …, m_final doubling, each `per_m` sweeps).
+std::vector<SweepParams> standard_schedule(index_t m_first, index_t m_final,
+                                           int per_m = 2, real_t cutoff = 1e-12);
+
+}  // namespace tt::dmrg

@@ -1,0 +1,74 @@
+#include "dmrg/engine.hpp"
+
+#include "dmrg/engines.hpp"
+#include "linalg/svd.hpp"
+
+namespace tt::dmrg {
+
+const char* engine_name(EngineKind k) {
+  switch (k) {
+    case EngineKind::kReference: return "reference";
+    case EngineKind::kList: return "list";
+    case EngineKind::kSparseDense: return "sparse-dense";
+    case EngineKind::kSparseSparse: return "sparse-sparse";
+  }
+  return "?";
+}
+
+symm::BlockSvd ContractionEngine::svd(const symm::BlockTensor& a,
+                                      const std::vector<int>& row_modes,
+                                      const symm::TruncParams& trunc) {
+  symm::BlockSvd f = symm::block_svd(a, row_modes, trunc);
+  // The SVD itself runs block-group-wise through the distributed
+  // pdgesvd-equivalent regardless of engine (paper §IV-A).
+  for (const auto& shape : f.shapes) {
+    rt::charge_svd(cluster_, tracker_, shape.rows, shape.cols, params_);
+    log_svd(shape.rows, shape.cols, rt::Layout::kBlockDense3D);
+  }
+  return f;
+}
+
+rt::CostTracker replay_log(const std::vector<OpRecord>& log,
+                           const rt::Cluster& cluster,
+                           const rt::CostModelParams& params) {
+  rt::CostTracker t;
+  for (const OpRecord& r : log) {
+    switch (r.type) {
+      case OpRecord::Type::kContraction:
+        rt::charge_contraction(cluster, t, r.cost, r.layout, params);
+        break;
+      case OpRecord::Type::kSvd:
+        if (r.layout == rt::Layout::kLocal) {
+          const double flops = linalg::svd_flops(r.rows, r.cols);
+          const double rate =
+              cluster.machine.node_gflops * 1e9 * cluster.machine.svd_efficiency;
+          t.add_flops(flops);
+          t.add_time(rt::Category::kSvd, flops / rate);
+        } else {
+          rt::charge_svd(cluster, t, r.rows, r.cols, params);
+        }
+        break;
+      case OpRecord::Type::kRedistribution:
+        rt::charge_redistribution(cluster, t, r.words);
+        break;
+    }
+  }
+  return t;
+}
+
+std::unique_ptr<ContractionEngine> make_engine(EngineKind kind, rt::Cluster cluster,
+                                               rt::CostModelParams params) {
+  switch (kind) {
+    case EngineKind::kReference:
+      return std::make_unique<ReferenceEngine>(cluster, params);
+    case EngineKind::kList:
+      return std::make_unique<ListEngine>(cluster, params);
+    case EngineKind::kSparseDense:
+      return std::make_unique<SparseDenseEngine>(cluster, params);
+    case EngineKind::kSparseSparse:
+      return std::make_unique<SparseSparseEngine>(cluster, params);
+  }
+  TT_FAIL("unknown engine kind");
+}
+
+}  // namespace tt::dmrg

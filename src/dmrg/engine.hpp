@@ -1,0 +1,133 @@
+// Contraction engines: the paper's three block-sparsity algorithms plus the
+// single-node reference baseline (§IV-A).
+//
+//   Reference     — serial block-wise execution, single node, no network.
+//                   Plays the role of the paper's ITensor baseline.
+//   List          — each quantum-number block is its own distributed dense
+//                   tensor; every compatible block pair is contracted with a
+//                   3D dense algorithm (paper Alg. 2). O(Nb) supersteps.
+//   SparseDense   — operator tensors (MPS/MPO/environments) fused into single
+//                   sparse tensors, Davidson intermediates fused dense;
+//                   one 2D contraction per step. O(1) supersteps.
+//   SparseSparse  — everything fused sparse, output sparsity precomputed from
+//                   the quantum numbers. O(1) supersteps, sparse flop rate.
+//
+// Every engine produces bit-equivalent block tensors (the numerics are
+// format-independent); they differ in the kernels that execute the work, the
+// real wall time measured, and the simulated distributed cost charged to the
+// tracker (runtime/cost_model.hpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/cost_model.hpp"
+#include "symm/block_factor.hpp"
+#include "symm/block_ops.hpp"
+
+namespace tt::dmrg {
+
+enum class EngineKind { kReference, kList, kSparseDense, kSparseSparse };
+
+const char* engine_name(EngineKind k);
+
+/// One charged operation, recorded when logging is enabled. An op log can be
+/// replayed against any Cluster — the benches execute the (cluster-invariant)
+/// numerics once per engine and problem size, then price every node-count /
+/// procs-per-node configuration by replay.
+struct OpRecord {
+  enum class Type { kContraction, kSvd, kRedistribution };
+  Type type = Type::kContraction;
+  rt::ContractionCost cost;      // kContraction
+  rt::Layout layout = rt::Layout::kLocal;
+  index_t rows = 0, cols = 0;    // kSvd
+  double words = 0.0;            // kRedistribution
+};
+
+/// Price an op log on a cluster.
+rt::CostTracker replay_log(const std::vector<OpRecord>& log,
+                           const rt::Cluster& cluster,
+                           const rt::CostModelParams& params = {});
+
+/// Storage role of a contraction operand in the sparse-dense algorithm:
+/// operator tensors stay sparse, Davidson intermediates go dense (§IV-A).
+enum class Role { kOperator, kIntermediate };
+
+/// Abstract contraction engine. Owns a cluster description and a cost
+/// tracker; all DMRG work flows through contract()/svd().
+class ContractionEngine {
+ public:
+  explicit ContractionEngine(rt::Cluster cluster, rt::CostModelParams params = {})
+      : cluster_(cluster), params_(params) {}
+  virtual ~ContractionEngine() = default;
+
+  virtual EngineKind kind() const = 0;
+  std::string name() const { return engine_name(kind()); }
+
+  /// Contract two block tensors (output role is implied: if either operand is
+  /// an intermediate the result is an intermediate).
+  virtual symm::BlockTensor contract(const symm::BlockTensor& a, Role role_a,
+                                     const symm::BlockTensor& b, Role role_b,
+                                     const std::vector<std::pair<int, int>>& pairs) = 0;
+
+  /// Truncated SVD across the bipartition. Always executed in the list
+  /// format (paper §IV-A); fused engines additionally charge the
+  /// redistribution of blocks out of / back into the single tensor.
+  virtual symm::BlockSvd svd(const symm::BlockTensor& a,
+                             const std::vector<int>& row_modes,
+                             const symm::TruncParams& trunc);
+
+  const rt::Cluster& cluster() const { return cluster_; }
+  rt::CostTracker& tracker() { return tracker_; }
+  const rt::CostTracker& tracker() const { return tracker_; }
+  const rt::CostModelParams& params() const { return params_; }
+
+  /// Enable/disable op logging (off by default).
+  void set_logging(bool on) { logging_ = on; }
+  const std::vector<OpRecord>& log() const { return log_; }
+  void clear_log() { log_.clear(); }
+
+ protected:
+  void charge_and_log(const rt::ContractionCost& cost, rt::Layout layout) {
+    rt::charge_contraction(cluster_, tracker_, cost, layout, params_);
+    if (logging_) {
+      OpRecord r;
+      r.type = OpRecord::Type::kContraction;
+      r.cost = cost;
+      r.layout = layout;
+      log_.push_back(r);
+    }
+  }
+  // layout kLocal marks a serial single-node SVD; anything else replays as
+  // the distributed pdgesvd-style cost.
+  void log_svd(index_t rows, index_t cols, rt::Layout layout) {
+    if (!logging_) return;
+    OpRecord r;
+    r.type = OpRecord::Type::kSvd;
+    r.rows = rows;
+    r.cols = cols;
+    r.layout = layout;
+    log_.push_back(r);
+  }
+  void log_redistribution(double words) {
+    if (!logging_) return;
+    OpRecord r;
+    r.type = OpRecord::Type::kRedistribution;
+    r.words = words;
+    log_.push_back(r);
+  }
+
+  rt::Cluster cluster_;
+  rt::CostModelParams params_;
+  rt::CostTracker tracker_;
+  bool logging_ = false;
+  std::vector<OpRecord> log_;
+};
+
+/// Factory for the four engines.
+std::unique_ptr<ContractionEngine> make_engine(EngineKind kind, rt::Cluster cluster,
+                                               rt::CostModelParams params = {});
+
+}  // namespace tt::dmrg

@@ -1,0 +1,34 @@
+#include "dmrg/engines.hpp"
+
+#include "linalg/svd.hpp"
+
+namespace tt::dmrg {
+
+symm::BlockTensor ReferenceEngine::contract(
+    const symm::BlockTensor& a, Role, const symm::BlockTensor& b, Role,
+    const std::vector<std::pair<int, int>>& pairs) {
+  symm::ContractStats stats;
+  symm::BlockTensor c = symm::contract(a, b, pairs, &stats);
+  rt::ContractionCost cost;
+  cost.flops = stats.total_flops;
+  charge_and_log(cost, rt::Layout::kLocal);
+  return c;
+}
+
+symm::BlockSvd ReferenceEngine::svd(const symm::BlockTensor& a,
+                                    const std::vector<int>& row_modes,
+                                    const symm::TruncParams& trunc) {
+  symm::BlockSvd f = symm::block_svd(a, row_modes, trunc);
+  // Serial single-node SVD: flops at the node's (reduced) SVD rate, no
+  // communication.
+  const double rate = cluster_.machine.node_gflops * 1e9 * cluster_.machine.svd_efficiency;
+  for (const auto& shape : f.shapes) {
+    const double flops = linalg::svd_flops(shape.rows, shape.cols);
+    tracker_.add_flops(flops);
+    tracker_.add_time(rt::Category::kSvd, flops / rate);
+    log_svd(shape.rows, shape.cols, rt::Layout::kLocal);
+  }
+  return f;
+}
+
+}  // namespace tt::dmrg

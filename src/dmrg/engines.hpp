@@ -1,0 +1,56 @@
+// Concrete engine implementations (see engine.hpp for the taxonomy).
+#pragma once
+
+#include "dmrg/engine.hpp"
+
+namespace tt::dmrg {
+
+/// Single-node serial baseline (the paper's ITensor stand-in): block-wise
+/// execution, all flops at one node's rate, no network, no redistribution.
+class ReferenceEngine : public ContractionEngine {
+ public:
+  using ContractionEngine::ContractionEngine;
+  EngineKind kind() const override { return EngineKind::kReference; }
+  symm::BlockTensor contract(const symm::BlockTensor& a, Role role_a,
+                             const symm::BlockTensor& b, Role role_b,
+                             const std::vector<std::pair<int, int>>& pairs) override;
+  symm::BlockSvd svd(const symm::BlockTensor& a, const std::vector<int>& row_modes,
+                     const symm::TruncParams& trunc) override;
+};
+
+/// List algorithm: per-block-pair distributed dense contractions (Alg. 2).
+class ListEngine : public ContractionEngine {
+ public:
+  using ContractionEngine::ContractionEngine;
+  EngineKind kind() const override { return EngineKind::kList; }
+  symm::BlockTensor contract(const symm::BlockTensor& a, Role role_a,
+                             const symm::BlockTensor& b, Role role_b,
+                             const std::vector<std::pair<int, int>>& pairs) override;
+};
+
+/// Sparse-dense algorithm: operators fused sparse, intermediates fused dense.
+class SparseDenseEngine : public ContractionEngine {
+ public:
+  using ContractionEngine::ContractionEngine;
+  EngineKind kind() const override { return EngineKind::kSparseDense; }
+  symm::BlockTensor contract(const symm::BlockTensor& a, Role role_a,
+                             const symm::BlockTensor& b, Role role_b,
+                             const std::vector<std::pair<int, int>>& pairs) override;
+  symm::BlockSvd svd(const symm::BlockTensor& a, const std::vector<int>& row_modes,
+                     const symm::TruncParams& trunc) override;
+};
+
+/// Sparse-sparse algorithm: one fused sparse contraction with precomputed
+/// output sparsity.
+class SparseSparseEngine : public ContractionEngine {
+ public:
+  using ContractionEngine::ContractionEngine;
+  EngineKind kind() const override { return EngineKind::kSparseSparse; }
+  symm::BlockTensor contract(const symm::BlockTensor& a, Role role_a,
+                             const symm::BlockTensor& b, Role role_b,
+                             const std::vector<std::pair<int, int>>& pairs) override;
+  symm::BlockSvd svd(const symm::BlockTensor& a, const std::vector<int>& row_modes,
+                     const symm::TruncParams& trunc) override;
+};
+
+}  // namespace tt::dmrg

@@ -1,0 +1,108 @@
+#include "dmrg/environment.hpp"
+
+namespace tt::dmrg {
+
+using symm::BlockTensor;
+using symm::Dir;
+using symm::Index;
+using symm::QN;
+
+BlockTensor left_boundary(int qn_rank) {
+  const QN zero = QN::zero(qn_rank);
+  BlockTensor e({Index::single(zero, 1, Dir::In), Index::single(zero, 1, Dir::Out),
+                 Index::single(zero, 1, Dir::Out)},
+                zero);
+  e.block({0, 0, 0})[0] = 1.0;
+  return e;
+}
+
+BlockTensor right_boundary(const QN& total) {
+  const QN zero = QN::zero(total.rank());
+  BlockTensor e({Index::single(total, 1, Dir::Out), Index::single(zero, 1, Dir::In),
+                 Index::single(total, 1, Dir::In)},
+                zero);
+  e.block({0, 0, 0})[0] = 1.0;
+  return e;
+}
+
+BlockTensor extend_left(ContractionEngine& eng, const BlockTensor& left,
+                        const BlockTensor& psi_j, const BlockTensor& w_j) {
+  // L(bra,mpo,ket) · ψ†(l,s,r) over bra  → (mpo, ket, s_bra, r_bra)
+  BlockTensor t1 =
+      eng.contract(left, Role::kOperator, psi_j.dagger(), Role::kOperator, {{0, 0}});
+  // · W(k,s,s',k') over (mpo,k),(s_bra,s) → (ket, r_bra, s', k')
+  BlockTensor t2 =
+      eng.contract(t1, Role::kOperator, w_j, Role::kOperator, {{0, 0}, {2, 1}});
+  // · ψ(l,s,r) over (ket,l),(s',s)        → (r_bra, k', r_ket)
+  return eng.contract(t2, Role::kOperator, psi_j, Role::kOperator, {{0, 0}, {2, 1}});
+}
+
+BlockTensor extend_right(ContractionEngine& eng, const BlockTensor& right,
+                         const BlockTensor& psi_j, const BlockTensor& w_j) {
+  // ψ†(l,s,r) · R(bra,mpo,ket) over (r,bra) → (l_bra, s_bra, mpo, ket)
+  BlockTensor t1 =
+      eng.contract(psi_j.dagger(), Role::kOperator, right, Role::kOperator, {{2, 0}});
+  // · W(k,s,s',k') over (mpo,k'),(s_bra,s)  → (l_bra, ket, k, s')
+  BlockTensor t2 =
+      eng.contract(t1, Role::kOperator, w_j, Role::kOperator, {{2, 3}, {1, 1}});
+  // · ψ(l,s,r) over (ket,r),(s',s)          → (l_bra, k, l_ket)
+  return eng.contract(t2, Role::kOperator, psi_j, Role::kOperator, {{1, 2}, {3, 1}});
+}
+
+BlockTensor apply_two_site(ContractionEngine& eng, const BlockTensor& left,
+                           const BlockTensor& w1, const BlockTensor& w2,
+                           const BlockTensor& right, const BlockTensor& x) {
+  // L(bra,mpo,ket) · x(l,s1,s2,r) over (ket,l) → (bra, mpo, s1, s2, r)
+  BlockTensor t1 =
+      eng.contract(left, Role::kOperator, x, Role::kIntermediate, {{2, 0}});
+  // · W1(k,s,s',k') over (mpo,k),(s1,s')       → (bra, s2, r, s1', k')
+  BlockTensor t2 =
+      eng.contract(t1, Role::kIntermediate, w1, Role::kOperator, {{1, 0}, {2, 2}});
+  // · W2 over (k',k),(s2,s')                   → (bra, r, s1', s2', k'')
+  BlockTensor t3 =
+      eng.contract(t2, Role::kIntermediate, w2, Role::kOperator, {{4, 0}, {1, 2}});
+  // · R(bra,mpo,ket) over (r,ket),(k'',mpo)    → (bra, s1', s2', r_bra)
+  return eng.contract(t3, Role::kIntermediate, right, Role::kOperator,
+                      {{1, 2}, {4, 1}});
+}
+
+EnvironmentStack::EnvironmentStack(ContractionEngine& eng, const mps::Mps& psi,
+                                   const mps::Mpo& h, ContractionEngine* builder)
+    : eng_(eng) {
+  const int n = psi.size();
+  TT_CHECK(n == h.size(), "MPS/MPO size mismatch");
+  left_.resize(static_cast<std::size_t>(n) + 1);
+  right_.resize(static_cast<std::size_t>(n) + 1);
+  left_[0] = left_boundary(psi.sites()->qn_rank());
+  right_[static_cast<std::size_t>(n)] = right_boundary(psi.total_qn());
+  ContractionEngine& build_eng = builder ? *builder : eng_;
+  for (int j = n - 1; j >= 1; --j)
+    right_[static_cast<std::size_t>(j)] = extend_right(
+        build_eng, right_[static_cast<std::size_t>(j) + 1], psi.site(j), h.site(j));
+  for (int j = 0; j + 1 < n; ++j)
+    left_[static_cast<std::size_t>(j) + 1] =
+        extend_left(build_eng, left_[static_cast<std::size_t>(j)], psi.site(j), h.site(j));
+}
+
+const BlockTensor& EnvironmentStack::left(int j) const {
+  TT_CHECK(j >= 0 && j < static_cast<int>(left_.size()), "left env " << j << " out of range");
+  return left_[static_cast<std::size_t>(j)];
+}
+
+const BlockTensor& EnvironmentStack::right(int j) const {
+  TT_CHECK(j >= 0 && j < static_cast<int>(right_.size()),
+           "right env " << j << " out of range");
+  return right_[static_cast<std::size_t>(j)];
+}
+
+void EnvironmentStack::update_left(int j, const mps::Mps& psi, const mps::Mpo& h) {
+  left_[static_cast<std::size_t>(j) + 1] =
+      extend_left(eng_, left_[static_cast<std::size_t>(j)], psi.site(j), h.site(j));
+}
+
+void EnvironmentStack::update_right(int j, const mps::Mps& psi, const mps::Mpo& h) {
+  right_[static_cast<std::size_t>(j)] = extend_right(
+      eng_, right_[static_cast<std::size_t>(j) + 1], psi.site(j), h.site(j));
+}
+
+}  // namespace tt::dmrg

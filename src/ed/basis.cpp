@@ -1,0 +1,53 @@
+#include "ed/basis.hpp"
+
+#include <bit>
+
+#include "support/error.hpp"
+
+namespace tt::ed {
+
+std::vector<std::uint64_t> masks_with_popcount(int n, int k) {
+  TT_CHECK(n >= 0 && n < 63, "mask width " << n << " out of range");
+  TT_CHECK(k >= 0 && k <= n, "popcount " << k << " out of range for width " << n);
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m)
+    if (std::popcount(m) == k) out.push_back(m);
+  return out;
+}
+
+SpinBasis::SpinBasis(int nsites, int twice_sz_total) : nsites_(nsites) {
+  TT_CHECK(nsites >= 1 && nsites <= 24, "spin ED supports 1..24 sites");
+  // 2·Sz = (#up − #dn) = 2·#up − n.
+  const int doubled = twice_sz_total + nsites;
+  TT_CHECK(doubled % 2 == 0 && doubled >= 0 && doubled <= 2 * nsites,
+           "unreachable Sz sector " << twice_sz_total << " for " << nsites << " sites");
+  states_ = masks_with_popcount(nsites, doubled / 2);
+  for (index_t i = 0; i < dim(); ++i) lookup_[states_[static_cast<std::size_t>(i)]] = i;
+}
+
+index_t SpinBasis::index_of(std::uint64_t s) const {
+  auto it = lookup_.find(s);
+  TT_CHECK(it != lookup_.end(), "state outside the Sz sector");
+  return it->second;
+}
+
+ElectronBasis::ElectronBasis(int nsites, int n_up, int n_dn) : nsites_(nsites) {
+  TT_CHECK(nsites >= 1 && nsites <= 16, "electron ED supports 1..16 sites");
+  const auto ups = masks_with_popcount(nsites, n_up);
+  const auto dns = masks_with_popcount(nsites, n_dn);
+  states_.reserve(ups.size() * dns.size());
+  for (std::uint64_t u : ups)
+    for (std::uint64_t d : dns) states_.emplace_back(u, d);
+  for (index_t i = 0; i < dim(); ++i) {
+    const auto& [u, d] = states_[static_cast<std::size_t>(i)];
+    lookup_[(u << 32) | d] = i;
+  }
+}
+
+index_t ElectronBasis::index_of(std::uint64_t up_mask, std::uint64_t dn_mask) const {
+  auto it = lookup_.find((up_mask << 32) | dn_mask);
+  TT_CHECK(it != lookup_.end(), "state outside the (N↑,N↓) sector");
+  return it->second;
+}
+
+}  // namespace tt::ed

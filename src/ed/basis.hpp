@@ -1,0 +1,51 @@
+// Charge-sector-restricted many-body bases for the exact-diagonalization
+// oracle. Deliberately independent of the MPS/MPO machinery: states are plain
+// bit masks and fermionic signs are computed by explicit mode counting, so a
+// disagreement with DMRG localizes bugs to one side.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace tt::ed {
+
+/// Spin-1/2 basis at fixed total 2·Sz: bit i set = site i up.
+class SpinBasis {
+ public:
+  SpinBasis(int nsites, int twice_sz_total);
+
+  index_t dim() const { return static_cast<index_t>(states_.size()); }
+  std::uint64_t state(index_t i) const { return states_[static_cast<std::size_t>(i)]; }
+  index_t index_of(std::uint64_t s) const;
+  int nsites() const { return nsites_; }
+
+ private:
+  int nsites_;
+  std::vector<std::uint64_t> states_;
+  std::unordered_map<std::uint64_t, index_t> lookup_;
+};
+
+/// Electron basis at fixed (N↑, N↓): separate up/dn occupation masks.
+class ElectronBasis {
+ public:
+  ElectronBasis(int nsites, int n_up, int n_dn);
+
+  index_t dim() const { return static_cast<index_t>(states_.size()); }
+  std::uint64_t up(index_t i) const { return states_[static_cast<std::size_t>(i)].first; }
+  std::uint64_t dn(index_t i) const { return states_[static_cast<std::size_t>(i)].second; }
+  index_t index_of(std::uint64_t up_mask, std::uint64_t dn_mask) const;
+  int nsites() const { return nsites_; }
+
+ private:
+  int nsites_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> states_;
+  std::unordered_map<std::uint64_t, index_t> lookup_;  // key = up<<32 | dn
+};
+
+/// All bit masks over `n` bits with exactly `k` set, ascending.
+std::vector<std::uint64_t> masks_with_popcount(int n, int k);
+
+}  // namespace tt::ed

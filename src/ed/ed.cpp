@@ -1,0 +1,103 @@
+#include "ed/ed.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace tt::ed {
+
+namespace {
+
+// Number of occupied fermionic modes strictly before mode (site, spin) in the
+// site-major ordering (1↑, 1↓, 2↑, 2↓, …). spin: 0 = up, 1 = dn.
+int modes_before(std::uint64_t up, std::uint64_t dn, int site, int spin) {
+  const std::uint64_t below = (std::uint64_t{1} << site) - 1;
+  int count = std::popcount(up & below) + std::popcount(dn & below);
+  if (spin == 1 && (up >> site) & 1) ++count;  // up mode of the same site
+  return count;
+}
+
+}  // namespace
+
+void apply_heisenberg(const models::Lattice& lat, real_t j1, real_t j2,
+                      const SpinBasis& basis, const std::vector<real_t>& x,
+                      std::vector<real_t>& y) {
+  y.assign(x.size(), 0.0);
+  for (index_t n = 0; n < basis.dim(); ++n) {
+    const std::uint64_t s = basis.state(n);
+    const real_t xn = x[static_cast<std::size_t>(n)];
+    if (xn == 0.0) continue;
+    for (const models::Bond& b : lat.bonds) {
+      const real_t j = (b.type == 0) ? j1 : j2;
+      if (j == 0.0) continue;
+      const int bi = (s >> b.s1) & 1;
+      const int bj = (s >> b.s2) & 1;
+      const real_t zi = bi ? 0.5 : -0.5;
+      const real_t zj = bj ? 0.5 : -0.5;
+      y[static_cast<std::size_t>(n)] += j * zi * zj * xn;  // Sz·Sz
+      if (bi != bj) {
+        // (S+S- + S-S+)/2 flips the antiparallel pair.
+        const std::uint64_t flipped =
+            s ^ (std::uint64_t{1} << b.s1) ^ (std::uint64_t{1} << b.s2);
+        y[static_cast<std::size_t>(basis.index_of(flipped))] += 0.5 * j * xn;
+      }
+    }
+  }
+}
+
+void apply_hubbard(const models::Lattice& lat, real_t t, real_t u,
+                   const ElectronBasis& basis, const std::vector<real_t>& x,
+                   std::vector<real_t>& y) {
+  y.assign(x.size(), 0.0);
+  for (index_t n = 0; n < basis.dim(); ++n) {
+    const real_t xn = x[static_cast<std::size_t>(n)];
+    if (xn == 0.0) continue;
+    const std::uint64_t up = basis.up(n);
+    const std::uint64_t dn = basis.dn(n);
+
+    y[static_cast<std::size_t>(n)] +=
+        u * static_cast<real_t>(std::popcount(up & dn)) * xn;
+
+    if (t == 0.0) continue;
+    // Hop −t·c†_i c_j for both directions and both spins.
+    auto hop = [&](int i, int j, int spin) {
+      const std::uint64_t mask = (spin == 0) ? up : dn;
+      if (!((mask >> j) & 1) || ((mask >> i) & 1)) return;
+      // c_j first (sign from modes before j), then c†_i on the intermediate.
+      int sgn = modes_before(up, dn, j, spin);
+      std::uint64_t up2 = up, dn2 = dn;
+      (spin == 0 ? up2 : dn2) ^= (std::uint64_t{1} << j);
+      sgn += modes_before(up2, dn2, i, spin);
+      (spin == 0 ? up2 : dn2) ^= (std::uint64_t{1} << i);
+      const real_t amp = (sgn % 2 == 0) ? -t : t;
+      y[static_cast<std::size_t>(basis.index_of(up2, dn2))] += amp * xn;
+    };
+    for (const models::Bond& b : lat.bonds) {
+      for (int spin : {0, 1}) {
+        hop(b.s1, b.s2, spin);
+        hop(b.s2, b.s1, spin);
+      }
+    }
+  }
+}
+
+real_t heisenberg_ground_energy(const models::Lattice& lat, real_t j1, real_t j2,
+                                int twice_sz_total) {
+  SpinBasis basis(lat.num_sites, twice_sz_total);
+  auto mv = [&](const std::vector<real_t>& x, std::vector<real_t>& y) {
+    apply_heisenberg(lat, j1, j2, basis, x, y);
+  };
+  return lanczos_ground_state(basis.dim(), mv).eigenvalue;
+}
+
+real_t hubbard_ground_energy(const models::Lattice& lat, real_t t, real_t u,
+                             int n_up, int n_dn) {
+  ElectronBasis basis(lat.num_sites, n_up, n_dn);
+  auto mv = [&](const std::vector<real_t>& x, std::vector<real_t>& y) {
+    apply_hubbard(lat, t, u, basis, x, y);
+  };
+  return lanczos_ground_state(basis.dim(), mv).eigenvalue;
+}
+
+}  // namespace tt::ed

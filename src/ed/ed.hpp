@@ -1,0 +1,34 @@
+// Exact-diagonalization oracle for the two benchmark models.
+//
+// Builds the many-body Hamiltonian action directly in the occupation basis
+// (explicit fermionic sign counting — no shared code with the MPO pipeline)
+// and solves for the ground state with Lanczos. Used by integration tests to
+// certify DMRG energies at small sizes.
+#pragma once
+
+#include "ed/basis.hpp"
+#include "ed/lanczos.hpp"
+#include "models/lattice.hpp"
+
+namespace tt::ed {
+
+/// Ground energy of the (J1,J2) Heisenberg model on `lat` in the total-2Sz
+/// sector.
+real_t heisenberg_ground_energy(const models::Lattice& lat, real_t j1, real_t j2,
+                                int twice_sz_total);
+
+/// Ground energy of the Hubbard model on `lat` at fixed (N↑, N↓).
+real_t hubbard_ground_energy(const models::Lattice& lat, real_t t, real_t u,
+                             int n_up, int n_dn);
+
+/// Apply the Heisenberg Hamiltonian to a vector (exposed for tests).
+void apply_heisenberg(const models::Lattice& lat, real_t j1, real_t j2,
+                      const SpinBasis& basis, const std::vector<real_t>& x,
+                      std::vector<real_t>& y);
+
+/// Apply the Hubbard Hamiltonian to a vector (exposed for tests).
+void apply_hubbard(const models::Lattice& lat, real_t t, real_t u,
+                   const ElectronBasis& basis, const std::vector<real_t>& x,
+                   std::vector<real_t>& y);
+
+}  // namespace tt::ed

@@ -1,0 +1,30 @@
+// Lanczos ground-state solver with full reorthogonalization.
+//
+// Oracle-grade implementation for the ED module: robustness over speed. The
+// matvec is supplied as a callback so the many-body Hamiltonian never needs
+// to be materialized.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace tt::ed {
+
+/// y := A·x for a symmetric operator of dimension `dim`.
+using MatVec = std::function<void(const std::vector<real_t>& x, std::vector<real_t>& y)>;
+
+struct LanczosResult {
+  real_t eigenvalue = 0.0;
+  std::vector<real_t> eigenvector;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Smallest eigenpair of a symmetric operator. Throws tt::Error on dim <= 0.
+LanczosResult lanczos_ground_state(index_t dim, const MatVec& matvec,
+                                   int max_iter = 300, real_t tol = 1e-12,
+                                   std::uint64_t seed = 12345);
+
+}  // namespace tt::ed

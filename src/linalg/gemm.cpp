@@ -1,0 +1,125 @@
+#include "linalg/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace tt::linalg {
+
+namespace {
+
+// Kernel blocking parameters: a (kMc x kKc) A-panel and (kKc x n) B-panel fit
+// comfortably in L2; the inner i-k-j loop vectorizes over j.
+constexpr index_t kMc = 64;
+constexpr index_t kKc = 256;
+
+// Core kernel for C(m×n) += A(m×k) * B(k×n), all row-major, no transposes.
+// Parallelizes over row panels of C so threads never write the same cache line.
+void gemm_nn(index_t m, index_t n, index_t k, real_t alpha, const real_t* a,
+             const real_t* b, real_t* c) {
+  const index_t num_panels = (m + kMc - 1) / kMc;
+#pragma omp parallel for schedule(dynamic, 1) if (m * n * k > (index_t{1} << 16))
+  for (index_t panel = 0; panel < num_panels; ++panel) {
+    const index_t i0 = panel * kMc;
+    const index_t i1 = std::min(i0 + kMc, m);
+    for (index_t k0 = 0; k0 < k; k0 += kKc) {
+      const index_t k1 = std::min(k0 + kKc, k);
+      for (index_t i = i0; i < i1; ++i) {
+        real_t* ci = c + i * n;
+        for (index_t kk = k0; kk < k1; ++kk) {
+          const real_t aik = alpha * a[i * k + kk];
+          if (aik == 0.0) continue;
+          const real_t* bk = b + kk * n;
+          for (index_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+        }
+      }
+    }
+  }
+}
+
+// Materialize the transpose of an r×c row-major buffer.
+std::vector<real_t> transpose_buffer(const real_t* x, index_t r, index_t c) {
+  std::vector<real_t> t(static_cast<std::size_t>(r * c));
+  constexpr index_t kBlock = 32;
+#pragma omp parallel for collapse(2) schedule(static) if (r * c > (index_t{1} << 16))
+  for (index_t ib = 0; ib < (r + kBlock - 1) / kBlock; ++ib)
+    for (index_t jb = 0; jb < (c + kBlock - 1) / kBlock; ++jb) {
+      const index_t ie = std::min((ib + 1) * kBlock, r);
+      const index_t je = std::min((jb + 1) * kBlock, c);
+      for (index_t i = ib * kBlock; i < ie; ++i)
+        for (index_t j = jb * kBlock; j < je; ++j) t[j * r + i] = x[i * c + j];
+    }
+  return t;
+}
+
+void scale_inplace(real_t* c, index_t count, real_t beta) {
+  if (beta == 1.0) return;
+  if (beta == 0.0) {
+    std::memset(c, 0, static_cast<std::size_t>(count) * sizeof(real_t));
+    return;
+  }
+#pragma omp parallel for schedule(static) if (count > (index_t{1} << 16))
+  for (index_t i = 0; i < count; ++i) c[i] *= beta;
+}
+
+}  // namespace
+
+void gemm_raw(bool transa, bool transb, index_t m, index_t n, index_t k,
+              real_t alpha, const real_t* a, const real_t* b, real_t beta,
+              real_t* c) {
+  scale_inplace(c, m * n, beta);
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0) return;
+
+  // Normalize both operands to non-transposed row-major form; the O(mn+nk)
+  // copies are negligible against the O(mnk) multiply for the block sizes the
+  // DMRG workloads produce.
+  std::vector<real_t> abuf, bbuf;
+  const real_t* ap = a;
+  const real_t* bp = b;
+  if (transa) {
+    abuf = transpose_buffer(a, k, m);
+    ap = abuf.data();
+  }
+  if (transb) {
+    bbuf = transpose_buffer(b, n, k);
+    bp = bbuf.data();
+  }
+  gemm_nn(m, n, k, alpha, ap, bp, c);
+}
+
+void gemm(bool transa, bool transb, real_t alpha, const Matrix& a,
+          const Matrix& b, real_t beta, Matrix& c) {
+  const index_t m = transa ? a.cols() : a.rows();
+  const index_t ka = transa ? a.rows() : a.cols();
+  const index_t kb = transb ? b.cols() : b.rows();
+  const index_t n = transb ? b.rows() : b.cols();
+  TT_CHECK(ka == kb, "gemm inner dimension mismatch: " << ka << " vs " << kb);
+  TT_CHECK(c.rows() == m && c.cols() == n,
+           "gemm output shape mismatch: got " << c.rows() << "x" << c.cols()
+                                              << ", want " << m << "x" << n);
+  gemm_raw(transa, transb, m, n, ka, alpha, a.data(), b.data(), beta, c.data());
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) { return matmul(false, false, a, b); }
+
+Matrix matmul(bool transa, bool transb, const Matrix& a, const Matrix& b) {
+  const index_t m = transa ? a.cols() : a.rows();
+  const index_t n = transb ? b.rows() : b.cols();
+  Matrix c(m, n);
+  gemm(transa, transb, 1.0, a, b, 0.0, c);
+  return c;
+}
+
+void gemv(index_t m, index_t n, real_t alpha, const real_t* a, const real_t* x,
+          real_t beta, real_t* y) {
+#pragma omp parallel for schedule(static) if (m * n > (index_t{1} << 16))
+  for (index_t i = 0; i < m; ++i) {
+    real_t s = 0.0;
+    const real_t* ai = a + i * n;
+    for (index_t j = 0; j < n; ++j) s += ai[j] * x[j];
+    y[i] = alpha * s + beta * y[i];
+  }
+}
+
+}  // namespace tt::linalg

@@ -1,0 +1,40 @@
+// Blocked, OpenMP-parallel GEMM on raw row-major buffers and Matrix objects.
+//
+// Every tensor contraction in the library lowers to this kernel (the same
+// execution strategy CTF uses: permute to matrix layout, multiply, permute
+// back), so its throughput sets the library's GFlop/s scale.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "support/types.hpp"
+
+namespace tt::linalg {
+
+/// C := alpha * op(A) * op(B) + beta * C on raw row-major buffers.
+/// op(A) is m×k, op(B) is k×n, C is m×n. transa/transb select op(X)=X^T, in
+/// which case the physical layout of A is k×m (resp. B is n×k).
+void gemm_raw(bool transa, bool transb, index_t m, index_t n, index_t k,
+              real_t alpha, const real_t* a, const real_t* b, real_t beta,
+              real_t* c);
+
+/// C := alpha * op(A) * op(B) + beta * C; shapes validated against C.
+void gemm(bool transa, bool transb, real_t alpha, const Matrix& a,
+          const Matrix& b, real_t beta, Matrix& c);
+
+/// Returns A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Returns op(A) * op(B).
+Matrix matmul(bool transa, bool transb, const Matrix& a, const Matrix& b);
+
+/// y := alpha * A * x + beta * y (row-major A, contiguous x/y).
+void gemv(index_t m, index_t n, real_t alpha, const real_t* a, const real_t* x,
+          real_t beta, real_t* y);
+
+/// Flop count of one GEMM call (2*m*n*k), used by the runtime's flop counter.
+inline double gemm_flops(index_t m, index_t n, index_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+}  // namespace tt::linalg

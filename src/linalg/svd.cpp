@@ -1,0 +1,198 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/gemm.hpp"
+#include "linalg/qr.hpp"
+#include "support/rng.hpp"
+
+namespace tt::linalg {
+
+namespace {
+
+constexpr int kMaxSweeps = 60;
+constexpr real_t kConvergence = 1.0e-14;
+
+// One-sided Jacobi on a square n×n matrix given as wt = Aᵀ (so "columns of A"
+// are contiguous rows of wt). Rotates row pairs of wt and of vr (whose row i
+// holds the i-th right singular vector) until all column pairs of A are
+// numerically orthogonal.
+void jacobi_orthogonalize(Matrix& wt, Matrix& vr) {
+  const index_t n = wt.rows();
+  const index_t m = wt.cols();
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    real_t off = 0.0;
+    for (index_t i = 0; i < n - 1; ++i) {
+      for (index_t j = i + 1; j < n; ++j) {
+        real_t* wi = wt.row(i);
+        real_t* wj = wt.row(j);
+        real_t aii = 0.0, ajj = 0.0, aij = 0.0;
+        for (index_t k = 0; k < m; ++k) {
+          aii += wi[k] * wi[k];
+          ajj += wj[k] * wj[k];
+          aij += wi[k] * wj[k];
+        }
+        if (aii == 0.0 || ajj == 0.0) continue;
+        const real_t rel = std::abs(aij) / std::sqrt(aii * ajj);
+        off = std::max(off, rel);
+        if (rel <= kConvergence) continue;
+        // Jacobi rotation zeroing the (i,j) Gram entry.
+        const real_t zeta = (ajj - aii) / (2.0 * aij);
+        const real_t t = ((zeta >= 0.0) ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const real_t cs = 1.0 / std::sqrt(1.0 + t * t);
+        const real_t sn = cs * t;
+        for (index_t k = 0; k < m; ++k) {
+          const real_t a = wi[k], b = wj[k];
+          wi[k] = cs * a - sn * b;
+          wj[k] = sn * a + cs * b;
+        }
+        real_t* vi = vr.row(i);
+        real_t* vj = vr.row(j);
+        for (index_t k = 0; k < n; ++k) {
+          const real_t a = vi[k], b = vj[k];
+          vi[k] = cs * a - sn * b;
+          vj[k] = sn * a + cs * b;
+        }
+      }
+    }
+    if (off <= kConvergence) break;
+  }
+}
+
+// Gram–Schmidt completion of near-null U columns so the returned thin U is
+// orthonormal even for rank-deficient inputs.
+void complete_null_columns(Matrix& u, const std::vector<bool>& valid) {
+  const index_t m = u.rows();
+  const index_t r = u.cols();
+  Rng rng(0xc0111ecdULL);
+  for (index_t j = 0; j < r; ++j) {
+    if (valid[static_cast<std::size_t>(j)]) continue;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      std::vector<real_t> cand(static_cast<std::size_t>(m));
+      for (auto& v : cand) v = rng.normal();
+      // Orthogonalize twice against all other columns (Kahan's rule).
+      for (int pass = 0; pass < 2; ++pass) {
+        for (index_t c = 0; c < r; ++c) {
+          if (c == j || (!valid[static_cast<std::size_t>(c)] && c > j)) continue;
+          real_t dot = 0.0;
+          for (index_t i = 0; i < m; ++i) dot += u(i, c) * cand[static_cast<std::size_t>(i)];
+          for (index_t i = 0; i < m; ++i) cand[static_cast<std::size_t>(i)] -= dot * u(i, c);
+        }
+      }
+      real_t nrm = 0.0;
+      for (real_t v : cand) nrm += v * v;
+      nrm = std::sqrt(nrm);
+      if (nrm > 1e-8) {
+        for (index_t i = 0; i < m; ++i) u(i, j) = cand[static_cast<std::size_t>(i)] / nrm;
+        break;
+      }
+    }
+  }
+}
+
+// Jacobi SVD of a square matrix (m == n not required: requires rows >= cols).
+SvdResult svd_tall(const Matrix& a) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+
+  Matrix wt = a.transposed();      // rows of wt = columns of A
+  Matrix vr = Matrix::identity(n); // rows = right singular vectors
+  jacobi_orthogonalize(wt, vr);
+
+  // Singular values = column norms; sort descending.
+  std::vector<real_t> snorm(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    real_t s = 0.0;
+    const real_t* wi = wt.row(i);
+    for (index_t k = 0; k < m; ++k) s += wi[k] * wi[k];
+    snorm[static_cast<std::size_t>(i)] = std::sqrt(s);
+  }
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+    return snorm[static_cast<std::size_t>(x)] > snorm[static_cast<std::size_t>(y)];
+  });
+
+  SvdResult out;
+  out.s.resize(static_cast<std::size_t>(n));
+  out.u = Matrix(m, n);
+  out.vt = Matrix(n, n);
+  const real_t smax = snorm.empty() ? 0.0 : snorm[static_cast<std::size_t>(order[0])];
+  const real_t tiny = std::max(smax, real_t{1.0}) * 1e-300;
+  std::vector<bool> valid(static_cast<std::size_t>(n), true);
+  for (index_t c = 0; c < n; ++c) {
+    const index_t src = order[static_cast<std::size_t>(c)];
+    const real_t s = snorm[static_cast<std::size_t>(src)];
+    out.s[static_cast<std::size_t>(c)] = s;
+    if (s > tiny) {
+      for (index_t i = 0; i < m; ++i) out.u(i, c) = wt(src, i) / s;
+    } else {
+      valid[static_cast<std::size_t>(c)] = false;
+    }
+    for (index_t k = 0; k < n; ++k) out.vt(c, k) = vr(src, k);
+  }
+  complete_null_columns(out.u, valid);
+  return out;
+}
+
+}  // namespace
+
+Matrix SvdResult::reconstruct() const {
+  Matrix us = u;
+  for (index_t i = 0; i < us.rows(); ++i)
+    for (index_t j = 0; j < us.cols(); ++j) us(i, j) *= s[static_cast<std::size_t>(j)];
+  return matmul(us, vt);
+}
+
+SvdResult svd(const Matrix& a) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  if (m == 0 || n == 0) {
+    SvdResult out;
+    out.u = Matrix(m, std::min(m, n));
+    out.vt = Matrix(std::min(m, n), n);
+    return out;
+  }
+  if (m < n) {
+    // SVD of the transpose, then swap factors: A = (V')·S·(U')ᵀ.
+    SvdResult t = svd(a.transposed());
+    SvdResult out;
+    out.s = std::move(t.s);
+    out.u = t.vt.transposed();
+    out.vt = t.u.transposed();
+    return out;
+  }
+  if (m > n) {
+    // QR preprocessing: Jacobi on the small n×n R factor only.
+    QrResult f = qr(a);
+    SvdResult inner = svd_tall(f.r);
+    SvdResult out;
+    out.s = std::move(inner.s);
+    out.u = matmul(f.q, inner.u);
+    out.vt = std::move(inner.vt);
+    return out;
+  }
+  return svd_tall(a);
+}
+
+double svd_flops(index_t m, index_t n) {
+  const double lo = static_cast<double>(std::min(m, n));
+  const double hi = static_cast<double>(std::max(m, n));
+  return 14.0 * hi * lo * lo;
+}
+
+index_t svd_rank(const std::vector<real_t>& s, real_t cutoff, index_t max_keep) {
+  index_t keep = 0;
+  for (real_t v : s) {
+    if (v <= cutoff) break;
+    ++keep;
+  }
+  keep = std::min(keep, max_keep);
+  if (keep == 0 && !s.empty()) keep = 1;
+  return keep;
+}
+
+}  // namespace tt::linalg

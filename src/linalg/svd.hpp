@@ -1,0 +1,37 @@
+// Singular value decomposition via QR-preprocessed one-sided Jacobi.
+//
+// Stands in for the ScaLAPACK pdgesvd the paper calls through Cyclops: every
+// block-wise SVD in the DMRG truncation step lands here. One-sided Jacobi is
+// chosen for its unconditional robustness and high relative accuracy on the
+// small-to-medium blocks quantum-number symmetry produces.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace tt::linalg {
+
+/// Thin SVD: A (m×n) = U (m×r) · diag(s) · Vᵀ (r×n), r = min(m,n),
+/// singular values sorted descending, U/V orthonormal columns (including the
+/// null-space completion for rank-deficient inputs).
+struct SvdResult {
+  Matrix u;
+  std::vector<real_t> s;
+  Matrix vt;
+
+  /// Reconstruct U · diag(s) · Vᵀ (test/diagnostic helper).
+  Matrix reconstruct() const;
+};
+
+SvdResult svd(const Matrix& a);
+
+/// Flop estimate for the SVD of an m×n matrix (LAPACK-style 14·m·n² model).
+double svd_flops(index_t m, index_t n);
+
+/// Number of trailing singular values with s[i] <= cutoff, given a cap on the
+/// number kept. Returns the kept count r' = min(max_keep, #{s > cutoff}), at
+/// least 1 when any singular value exists (DMRG must keep a nonzero bond).
+index_t svd_rank(const std::vector<real_t>& s, real_t cutoff, index_t max_keep);
+
+}  // namespace tt::linalg

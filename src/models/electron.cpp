@@ -1,0 +1,58 @@
+#include "models/electron.hpp"
+
+namespace tt::models {
+
+using linalg::Matrix;
+using mps::LocalOp;
+using symm::Dir;
+using symm::Index;
+using symm::QN;
+
+mps::SiteSetPtr electron_sites(int n) {
+  Index phys({{QN(0, 0), 1}, {QN(1, 1), 1}, {QN(1, -1), 1}, {QN(2, 0), 1}}, Dir::In);
+
+  std::map<std::string, LocalOp> ops;
+  auto diag = [](double a, double b, double c, double d) {
+    Matrix m(4, 4);
+    m(0, 0) = a;
+    m(1, 1) = b;
+    m(2, 2) = c;
+    m(3, 3) = d;
+    return m;
+  };
+
+  ops["Id"] = {diag(1, 1, 1, 1), QN(0, 0), false};
+  ops["F"] = {diag(1, -1, -1, 1), QN(0, 0), false};  // (−1)^(n↑+n↓)
+  ops["Nup"] = {diag(0, 1, 0, 1), QN(0, 0), false};
+  ops["Ndn"] = {diag(0, 0, 1, 1), QN(0, 0), false};
+  ops["Ntot"] = {diag(0, 1, 1, 2), QN(0, 0), false};
+  ops["Nupdn"] = {diag(0, 0, 0, 1), QN(0, 0), false};
+  ops["Sz"] = {diag(0, 0.5, -0.5, 0), QN(0, 0), false};
+
+  // Annihilators in the basis {|0⟩, |↑⟩, |↓⟩, |↑↓⟩ = c†↑c†↓|0⟩}.
+  // Cup: ⟨0|c↑|↑⟩ = 1, ⟨↓|c↑|↑↓⟩ = +1 (c↑ anticommutes past nothing).
+  Matrix cup(4, 4);
+  cup(0, 1) = 1.0;
+  cup(2, 3) = 1.0;
+  ops["Cup"] = {cup, QN(-1, -1), true};
+
+  // Cdn includes the intra-site string: ⟨0|c↓|↓⟩ = 1, ⟨↑|c↓|↑↓⟩ = −1
+  // (c↓ anticommutes past c†↑).
+  Matrix cdn(4, 4);
+  cdn(0, 2) = 1.0;
+  cdn(1, 3) = -1.0;
+  ops["Cdn"] = {cdn, QN(-1, 1), true};
+
+  ops["Cdagup"] = {cup.transposed(), QN(1, 1), true};
+  ops["Cdagdn"] = {cdn.transposed(), QN(1, -1), true};
+
+  // Spin raising/lowering (for completeness / t-J-style measurements).
+  Matrix splus(4, 4);
+  splus(1, 2) = 1.0;  // S+|↓⟩ = |↑⟩
+  ops["S+"] = {splus, QN(0, 2), false};
+  ops["S-"] = {splus.transposed(), QN(0, -2), false};
+
+  return std::make_shared<const mps::SiteSet>(n, phys, std::move(ops));
+}
+
+}  // namespace tt::models

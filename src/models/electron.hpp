@@ -1,0 +1,17 @@
+// Electron site set (the paper's d = 4 "electrons" system).
+//
+// Two U(1) charges per label: (N, 2·Sz) — the doubled symmetry that drives
+// the much larger block count / sparsity of the Hubbard workload (Fig 2).
+// Fermionic operators follow the site-major Jordan–Wigner convention
+// (mode order: 1↑, 1↓, 2↑, 2↓, …); the intra-site string is baked into Cdn.
+#pragma once
+
+#include "mps/site.hpp"
+
+namespace tt::models {
+
+/// Chain of `n` electron sites. Physical states:
+/// 0 = |0⟩ (0,0), 1 = |↑⟩ (1,+1), 2 = |↓⟩ (1,−1), 3 = |↑↓⟩ (2,0).
+mps::SiteSetPtr electron_sites(int n);
+
+}  // namespace tt::models

@@ -1,0 +1,127 @@
+#include "models/lattice.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "support/error.hpp"
+
+namespace tt::models {
+
+namespace {
+
+// Deduplicating bond collector: normalizes (s1,s2) order and drops repeats
+// (periodic wrap on tiny circumferences can generate the same bond twice).
+class BondSet {
+ public:
+  void add(int a, int b, int type) {
+    if (a == b) return;  // self-bonds can appear for circumference 1
+    if (a > b) std::swap(a, b);
+    if (seen_.insert(std::make_tuple(a, b, type)).second)
+      bonds_.push_back({a, b, type});
+  }
+  std::vector<Bond> take() { return std::move(bonds_); }
+
+ private:
+  std::set<std::tuple<int, int, int>> seen_;
+  std::vector<Bond> bonds_;
+};
+
+}  // namespace
+
+int Lattice::site(int x, int y) const {
+  TT_CHECK(x >= 0 && x < length, "column " << x << " out of range");
+  const int yy = ((y % circumference) + circumference) % circumference;
+  return x * circumference + yy;
+}
+
+int Lattice::num_bonds(int type) const {
+  int n = 0;
+  for (const Bond& b : bonds)
+    if (b.type == type) ++n;
+  return n;
+}
+
+Lattice chain(int n) {
+  TT_CHECK(n >= 2, "chain needs at least two sites");
+  Lattice lat;
+  lat.name = "chain-" + std::to_string(n);
+  lat.length = n;
+  lat.circumference = 1;
+  lat.num_sites = n;
+  for (int i = 0; i + 1 < n; ++i) lat.bonds.push_back({i, i + 1, 0});
+  return lat;
+}
+
+Lattice square_cylinder(int lx, int ly, bool diagonals) {
+  TT_CHECK(lx >= 2 && ly >= 2, "cylinder needs lx, ly >= 2");
+  Lattice lat;
+  lat.name = (diagonals ? "square-j1j2-" : "square-") + std::to_string(lx) + "x" +
+             std::to_string(ly);
+  lat.length = lx;
+  lat.circumference = ly;
+  lat.num_sites = lx * ly;
+
+  BondSet bs;
+  for (int x = 0; x < lx; ++x) {
+    for (int y = 0; y < ly; ++y) {
+      const int s = lat.site(x, y);
+      bs.add(s, lat.site(x, y + 1), 0);                    // around the cylinder
+      if (x + 1 < lx) bs.add(s, lat.site(x + 1, y), 0);    // along the axis
+      if (diagonals && x + 1 < lx) {
+        bs.add(s, lat.site(x + 1, y + 1), 1);
+        bs.add(s, lat.site(x + 1, y - 1), 1);
+      }
+    }
+  }
+  lat.bonds = bs.take();
+  return lat;
+}
+
+Lattice triangular_cylinder(int lx, int ly) {
+  TT_CHECK(lx >= 2 && ly >= 2, "cylinder needs lx, ly >= 2");
+  Lattice lat;
+  lat.name = "triangular-" + std::to_string(lx) + "x" + std::to_string(ly);
+  lat.length = lx;
+  lat.circumference = ly;
+  lat.num_sites = lx * ly;
+
+  BondSet bs;
+  for (int x = 0; x < lx; ++x) {
+    for (int y = 0; y < ly; ++y) {
+      const int s = lat.site(x, y);
+      bs.add(s, lat.site(x, y + 1), 0);
+      if (x + 1 < lx) {
+        bs.add(s, lat.site(x + 1, y), 0);
+        bs.add(s, lat.site(x + 1, y + 1), 0);  // triangular diagonal
+      }
+    }
+  }
+  lat.bonds = bs.take();
+  return lat;
+}
+
+std::string render(const Lattice& lat) {
+  std::ostringstream os;
+  os << lat.name << ": " << lat.num_sites << " sites (" << lat.length
+     << " columns x " << lat.circumference << " around), " << lat.bonds.size()
+     << " bonds";
+  for (int type : {0, 1}) {
+    const int n = lat.num_bonds(type);
+    if (n) os << "; type-" << type << ": " << n;
+  }
+  os << "\n";
+  // Column-major grid with site ids.
+  for (int y = 0; y < lat.circumference; ++y) {
+    for (int x = 0; x < lat.length; ++x) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "%4d", lat.site(x, y));
+      os << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tt::models

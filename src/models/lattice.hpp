@@ -1,0 +1,50 @@
+// Lattice geometries for the two benchmark systems (paper Fig 4): square
+// cylinders (J1–J2 Heisenberg) and triangular cylinders (Hubbard), plus a
+// plain chain. Sites are ordered column-major (the DMRG path snakes through
+// columns of the cylinder), periodic around the circumference, open along the
+// length.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tt::models {
+
+/// Undirected coupling between two sites. `type` distinguishes coupling
+/// classes: 0 = nearest neighbour (J1 / t), 1 = next-nearest (J2).
+struct Bond {
+  int s1 = 0, s2 = 0;
+  int type = 0;
+};
+
+/// A finite lattice mapped to a 1D site ordering.
+struct Lattice {
+  std::string name;
+  int length = 0;        ///< columns (open direction)
+  int circumference = 0; ///< rows (periodic direction; 1 for a chain)
+  int num_sites = 0;
+  std::vector<Bond> bonds;
+
+  /// Column-major site id: column x, row y.
+  int site(int x, int y) const;
+
+  int num_bonds(int type) const;
+};
+
+/// Open 1D chain of n sites (nearest-neighbour bonds only).
+Lattice chain(int n);
+
+/// lx × ly square cylinder: periodic in y, open in x. With `diagonals`,
+/// next-nearest (J2) bonds of type 1 are added — the J1–J2 geometry.
+Lattice square_cylinder(int lx, int ly, bool diagonals);
+
+/// lx × ly triangular cylinder: square cylinder + one family of (x,y)→
+/// (x+1,y+1) diagonals, all of type 0 — every site has six neighbours, the
+/// standard mapping of the triangular lattice onto a cylinder.
+Lattice triangular_cylinder(int lx, int ly);
+
+/// ASCII rendering of the lattice (bond lists per class) — paper Fig 4 in
+/// text form.
+std::string render(const Lattice& lat);
+
+}  // namespace tt::models

@@ -1,0 +1,38 @@
+#include "models/spin_half.hpp"
+
+namespace tt::models {
+
+using linalg::Matrix;
+using mps::LocalOp;
+using symm::Dir;
+using symm::Index;
+using symm::QN;
+
+mps::SiteSetPtr spin_half_sites(int n) {
+  // state 0 = ↑ (charge +1), state 1 = ↓ (charge −1).
+  Index phys({{QN(1), 1}, {QN(-1), 1}}, Dir::In);
+
+  std::map<std::string, LocalOp> ops;
+
+  Matrix id(2, 2);
+  id(0, 0) = id(1, 1) = 1.0;
+  ops["Id"] = {id, QN(0), false};
+  ops["F"] = {id, QN(0), false};  // spins carry no fermion parity
+
+  Matrix sz(2, 2);
+  sz(0, 0) = 0.5;
+  sz(1, 1) = -0.5;
+  ops["Sz"] = {sz, QN(0), false};
+
+  Matrix sp(2, 2);
+  sp(0, 1) = 1.0;  // S+|↓⟩ = |↑⟩
+  ops["S+"] = {sp, QN(2), false};
+
+  Matrix sm(2, 2);
+  sm(1, 0) = 1.0;  // S-|↑⟩ = |↓⟩
+  ops["S-"] = {sm, QN(-2), false};
+
+  return std::make_shared<const mps::SiteSet>(n, phys, std::move(ops));
+}
+
+}  // namespace tt::models

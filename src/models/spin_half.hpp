@@ -1,0 +1,14 @@
+// Spin-1/2 site set (the paper's d = 2 "spins" system).
+//
+// U(1) charge = 2·Sz (kept integral). Operators: Id, Sz, S+ (flux +2),
+// S- (flux −2), F (= Id; spins are bosonic).
+#pragma once
+
+#include "mps/site.hpp"
+
+namespace tt::models {
+
+/// Chain of `n` spin-1/2 sites. Physical states: 0 = ↑ (2Sz = +1), 1 = ↓.
+mps::SiteSetPtr spin_half_sites(int n);
+
+}  // namespace tt::models

@@ -1,0 +1,33 @@
+// Portable text serialization for MPS and MPO.
+//
+// Plays the role of the paper's ITensor↔Cyclops conversion interface (§VI:
+// "we developed an interface to convert ITensor MPS data to a readable format
+// for Cyclops"): states and operators can be written by one toolchain and
+// read by another — or checkpointed between runs. The format is exact
+// (hex-encoded doubles) and versioned.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mps/mpo.hpp"
+#include "mps/mps.hpp"
+
+namespace tt::mps {
+
+/// Write/read an MPS. The site set is described structurally (physical index
+/// sectors); the reader validates it against the supplied site set.
+void write_mps(std::ostream& os, const Mps& psi);
+Mps read_mps(std::istream& is, SiteSetPtr sites);
+
+/// Write/read an MPO.
+void write_mpo(std::ostream& os, const Mpo& h);
+Mpo read_mpo(std::istream& is, SiteSetPtr sites);
+
+/// File-path convenience wrappers.
+void save_mps(const std::string& path, const Mps& psi);
+Mps load_mps(const std::string& path, SiteSetPtr sites);
+void save_mpo(const std::string& path, const Mpo& h);
+Mpo load_mpo(const std::string& path, SiteSetPtr sites);
+
+}  // namespace tt::mps

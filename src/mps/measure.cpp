@@ -1,0 +1,105 @@
+#include "mps/measure.hpp"
+
+#include "symm/block_ops.hpp"
+
+namespace tt::mps {
+
+using symm::BlockTensor;
+using symm::Dir;
+using symm::Index;
+using symm::QN;
+
+namespace {
+
+// Environment legs: (bra In, ket Out) for overlaps; (bra In, mpo Out, ket Out)
+// for expectation values. Boundaries are dim-1 charge-0 tensors.
+BlockTensor overlap_boundary(int rank) {
+  BlockTensor e({Index::single(QN::zero(rank), 1, Dir::In),
+                 Index::single(QN::zero(rank), 1, Dir::Out)},
+                QN::zero(rank));
+  e.block({0, 0})[0] = 1.0;
+  return e;
+}
+
+BlockTensor expect_boundary(int rank) {
+  BlockTensor e({Index::single(QN::zero(rank), 1, Dir::In),
+                 Index::single(QN::zero(rank), 1, Dir::Out),
+                 Index::single(QN::zero(rank), 1, Dir::Out)},
+                QN::zero(rank));
+  e.block({0, 0, 0})[0] = 1.0;
+  return e;
+}
+
+real_t scalar_of(const BlockTensor& t) {
+  // Fully contracted chains leave an all-dim-1 tensor.
+  real_t v = 0.0;
+  for (const auto& [key, blk] : t.blocks()) {
+    TT_ASSERT(blk.size() == 1, "expected a scalar-like block");
+    v += blk[0];
+  }
+  return v;
+}
+
+}  // namespace
+
+real_t overlap(const Mps& a, const Mps& b) {
+  TT_CHECK(a.size() == b.size(), "overlap of differently-sized MPS");
+  TT_CHECK(a.total_qn() == b.total_qn(),
+           "overlap of states in different charge sectors is zero by symmetry");
+  const int rank = a.sites()->qn_rank();
+  BlockTensor e = overlap_boundary(rank);
+  for (int j = 0; j < a.size(); ++j) {
+    // e(bra,ket) · a_j†(l,s,r) over bra:  → (ket, s, r_bra)
+    BlockTensor t1 = symm::contract(e, a.site(j).dagger(), {{0, 0}});
+    // · b_j(l,s,r) over (ket leg, s):     → (r_bra, r_ket)
+    e = symm::contract(t1, b.site(j), {{0, 0}, {1, 1}});
+  }
+  return scalar_of(e);
+}
+
+real_t expectation(const Mps& psi, const Mpo& h) {
+  TT_CHECK(psi.size() == h.size(), "MPS/MPO size mismatch");
+  const int rank = psi.sites()->qn_rank();
+  BlockTensor e = expect_boundary(rank);
+  for (int j = 0; j < psi.size(); ++j) {
+    // e(bra,mpo,ket) · ψ_j†(l,s,r) over bra      → (mpo, ket, s_bra, r_bra)
+    BlockTensor t1 = symm::contract(e, psi.site(j).dagger(), {{0, 0}});
+    // · W_j(k,s,s',k') over (mpo,k) and (s_bra,s) → (ket, r_bra, s', k')
+    BlockTensor t2 = symm::contract(t1, h.site(j), {{0, 0}, {2, 1}});
+    // · ψ_j(l,s',r) over (ket,l) and (s',s)       → (r_bra, k', r_ket)
+    e = symm::contract(t2, psi.site(j), {{0, 0}, {2, 1}});
+  }
+  return scalar_of(e);
+}
+
+real_t expect_local(const Mps& psi, const std::string& op_name, int j) {
+  TT_CHECK(j >= 0 && j < psi.size(), "site " << j << " out of range");
+  Mps work = psi;
+  work.canonicalize(j);
+  const LocalOp& op = work.sites()->op(op_name);
+  TT_CHECK(op.flux.is_zero(),
+           "expect_local requires a charge-neutral operator, got flux "
+               << op.flux.str());
+
+  // Build the order-2 block operator (bra In, ket Out) from the matrix.
+  const Index& phys = work.sites()->phys();
+  BlockTensor o({phys, phys.reversed()}, QN::zero(work.sites()->qn_rank()));
+  const index_t d = phys.dim();
+  for (index_t b = 0; b < d; ++b)
+    for (index_t k = 0; k < d; ++k)
+      if (op.mat(b, k) != 0.0) {
+        const int sb = work.sites()->sector_of_state(b);
+        const int sk = work.sites()->sector_of_state(k);
+        o.block({sb, sk})
+            .at({work.sites()->local_of_state(b), work.sites()->local_of_state(k)}) =
+            op.mat(b, k);
+      }
+
+  const symm::BlockTensor& c = work.site(j);
+  // ⟨c| O |c⟩: contract ket with O, then with bra.
+  BlockTensor oc = symm::contract(o, c, {{1, 1}});   // (s_bra, l, r)
+  BlockTensor resh = symm::contract(c.dagger(), oc, {{0, 1}, {1, 0}, {2, 2}});
+  return scalar_of(resh);
+}
+
+}  // namespace tt::mps

@@ -1,0 +1,23 @@
+// Reference contractions for measurements: overlaps and MPO expectation
+// values, computed with exact block-sparse contractions (list format).
+//
+// These are the library-of-record implementations used by tests and examples;
+// the DMRG engines keep their own cached environments.
+#pragma once
+
+#include "mps/mpo.hpp"
+#include "mps/mps.hpp"
+
+namespace tt::mps {
+
+/// ⟨a|b⟩. States must share the site set structure and total charge.
+real_t overlap(const Mps& a, const Mps& b);
+
+/// ⟨ψ|H|ψ⟩ (not normalized — divide by overlap(psi,psi) if needed).
+real_t expectation(const Mps& psi, const Mpo& h);
+
+/// ⟨ψ|O_j|ψ⟩ for a single-site operator (ψ must be normalized for a true
+/// expectation value). Canonicalizes a copy to site j internally.
+real_t expect_local(const Mps& psi, const std::string& op_name, int j);
+
+}  // namespace tt::mps

@@ -1,0 +1,92 @@
+#include "mps/mpo.hpp"
+
+#include <algorithm>
+
+#include "symm/block_factor.hpp"
+#include "symm/block_ops.hpp"
+
+namespace tt::mps {
+
+using symm::BlockTensor;
+using symm::Dir;
+
+Mpo::Mpo(SiteSetPtr sites, std::vector<symm::BlockTensor> tensors)
+    : sites_(std::move(sites)), tensors_(std::move(tensors)) {
+  TT_CHECK(sites_ != nullptr, "MPO needs a site set");
+  TT_CHECK(static_cast<int>(tensors_.size()) == sites_->size(),
+           "MPO has " << tensors_.size() << " tensors for " << sites_->size()
+                      << " sites");
+  check_consistency();
+}
+
+const symm::BlockTensor& Mpo::site(int j) const {
+  TT_CHECK(j >= 0 && j < size(), "MPO site " << j << " out of range");
+  return tensors_[static_cast<std::size_t>(j)];
+}
+
+symm::BlockTensor& Mpo::site(int j) {
+  TT_CHECK(j >= 0 && j < size(), "MPO site " << j << " out of range");
+  return tensors_[static_cast<std::size_t>(j)];
+}
+
+index_t Mpo::bond_dim(int j) const { return site(j).index(3).dim(); }
+
+index_t Mpo::max_bond_dim() const {
+  index_t m = 0;
+  for (int j = 0; j < size(); ++j) m = std::max(m, bond_dim(j));
+  return m;
+}
+
+std::vector<index_t> Mpo::bond_dims() const {
+  std::vector<index_t> out;
+  for (int j = 0; j + 1 < size(); ++j) out.push_back(bond_dim(j));
+  return out;
+}
+
+void Mpo::check_consistency() const {
+  for (int j = 0; j < size(); ++j) {
+    const BlockTensor& w = tensors_[static_cast<std::size_t>(j)];
+    TT_CHECK(w.order() == 4, "MPO site " << j << " must be order 4");
+    TT_CHECK(w.index(0).dir() == Dir::In, "MPO site " << j << ": left bond must be In");
+    TT_CHECK(w.index(1).dir() == Dir::In, "MPO site " << j << ": bra leg must be In");
+    TT_CHECK(w.index(2).dir() == Dir::Out, "MPO site " << j << ": ket leg must be Out");
+    TT_CHECK(w.index(3).dir() == Dir::Out, "MPO site " << j << ": right bond must be Out");
+    TT_CHECK(w.flux().is_zero(), "MPO site " << j << " must have zero flux");
+    TT_CHECK(w.index(1).sectors() == sites_->phys().sectors(),
+             "MPO site " << j << ": bra leg does not match the site set");
+    if (j + 1 < size())
+      TT_CHECK(w.index(3).contractible_with(
+                   tensors_[static_cast<std::size_t>(j + 1)].index(0)),
+               "MPO bond " << j << " does not match the next site's left leg");
+    for (const auto& [key, blk] : w.blocks())
+      TT_CHECK(w.key_allowed(key), "MPO site " << j << " has a non-conserving block");
+  }
+  TT_CHECK(site(0).index(0).dim() == 1, "MPO left boundary bond must have dim 1");
+  TT_CHECK(site(size() - 1).index(3).dim() == 1,
+           "MPO right boundary bond must have dim 1");
+}
+
+void Mpo::compress(real_t rel_cutoff) {
+  if (size() < 2) return;
+  symm::TruncParams trunc;
+  trunc.rel_cutoff = rel_cutoff;
+
+  // Right-to-left: split off the left bond, absorb U·S into the left
+  // neighbour; W_j becomes row-orthonormal in the grouped sense.
+  for (int j = size() - 1; j >= 1; --j) {
+    auto f = symm::block_svd(tensors_[static_cast<std::size_t>(j)], {0}, trunc);
+    tensors_[static_cast<std::size_t>(j)] = std::move(f.vt);
+    tensors_[static_cast<std::size_t>(j - 1)] = symm::contract(
+        tensors_[static_cast<std::size_t>(j - 1)], f.u_times_s(), {{3, 0}});
+  }
+  // Left-to-right: split off the right bond.
+  for (int j = 0; j + 1 < size(); ++j) {
+    auto f = symm::block_svd(tensors_[static_cast<std::size_t>(j)], {0, 1, 2}, trunc);
+    tensors_[static_cast<std::size_t>(j)] = std::move(f.u);
+    tensors_[static_cast<std::size_t>(j + 1)] = symm::contract(
+        f.s_times_vt(), tensors_[static_cast<std::size_t>(j + 1)], {{1, 0}});
+  }
+  check_consistency();
+}
+
+}  // namespace tt::mps

@@ -1,0 +1,74 @@
+// Matrix product state over a SiteSet.
+//
+// Site tensor legs, in order: (l: left bond, In), (s: physical, In),
+// (r: right bond, Out); flux 0 per site. The right bond of site j carries the
+// accumulated charge of sites 0..j; the final dim-1 bond pins the global
+// symmetry sector of the state.
+#pragma once
+
+#include <vector>
+
+#include "mps/site.hpp"
+#include "support/rng.hpp"
+#include "symm/block_tensor.hpp"
+
+namespace tt::mps {
+
+/// MPS as a chain of order-3 block tensors with canonical-center tracking.
+class Mps {
+ public:
+  Mps() = default;
+
+  /// Product state: site j occupies physical sector state_per_site[j].
+  /// All bonds have dim 1.
+  static Mps product_state(SiteSetPtr sites, const std::vector<int>& sector_per_site);
+
+  /// Random MPS in the charge sector `total`, every bond grown to (at most)
+  /// m, sector dims distributed proportionally to charge-path counts — a
+  /// realistic stand-in for a DMRG-grown block structure (used by benches to
+  /// reach large m cheaply, like the paper's untimed growth sweeps).
+  static Mps random(SiteSetPtr sites, const symm::QN& total, index_t m, Rng& rng);
+
+  int size() const { return static_cast<int>(tensors_.size()); }
+  const SiteSetPtr& sites() const { return sites_; }
+  const symm::BlockTensor& site(int j) const;
+  symm::BlockTensor& site(int j);
+
+  /// Replace site j's tensor (invalidates the canonical center unless told
+  /// otherwise via set_center).
+  void set_site(int j, symm::BlockTensor t);
+
+  /// Total charge of the state (single sector of the last bond).
+  symm::QN total_qn() const;
+
+  index_t bond_dim(int j) const;  ///< fused dim of the bond right of site j
+  index_t max_bond_dim() const;
+  std::vector<index_t> bond_dims() const;
+
+  /// Bring to mixed-canonical form with orthogonality center at `center`
+  /// (QR from the left, LQ from the right — paper §II.C).
+  void canonicalize(int center);
+
+  /// Current orthogonality center, or -1 if unknown.
+  int center() const { return center_; }
+  void set_center(int c) { center_ = c; }
+
+  /// √⟨ψ|ψ⟩. O(1) when canonicalized (center-site norm), full contraction
+  /// otherwise.
+  real_t norm() const;
+
+  /// Scale so that norm() == 1. Requires nonzero norm.
+  void normalize();
+
+  /// Validate leg conventions, bond matching, charge conservation.
+  void check_consistency() const;
+
+ private:
+  Mps(SiteSetPtr sites, std::vector<symm::BlockTensor> tensors);
+
+  SiteSetPtr sites_;
+  std::vector<symm::BlockTensor> tensors_;
+  int center_ = -1;
+};
+
+}  // namespace tt::mps

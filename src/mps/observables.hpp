@@ -1,0 +1,31 @@
+// Physical observables on MPS: two-point correlators (with automatic
+// Jordan–Wigner strings for fermionic operators) and bipartite entanglement
+// entropy — the measurements a DMRG study of the paper's two models reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mps/mps.hpp"
+
+namespace tt::mps {
+
+/// ⟨ψ| O1_i · O2_j |ψ⟩ for i ≠ j (any order). Charged operators are allowed
+/// when their fluxes cancel (e.g. S+ with S-); fermionic pairs receive the
+/// parity string between the sites. ψ must be normalized for a true
+/// expectation value.
+real_t correlation(const Mps& psi, const std::string& op1, int i,
+                   const std::string& op2, int j);
+
+/// Connected correlator ⟨O1_i O2_j⟩ − ⟨O1_i⟩⟨O2_j⟩ (both ops charge-neutral).
+real_t connected_correlation(const Mps& psi, const std::string& op1, int i,
+                             const std::string& op2, int j);
+
+/// Von Neumann entanglement entropy S = −Σ λ² ln λ² across bond `b`
+/// (between sites b and b+1), from the singular values of the bipartition.
+real_t entanglement_entropy(const Mps& psi, int bond);
+
+/// Singular-value spectrum across bond `b`, sorted descending.
+std::vector<real_t> entanglement_spectrum(const Mps& psi, int bond);
+
+}  // namespace tt::mps

@@ -1,0 +1,35 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+
+namespace tt::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void emit(Level lvl, const std::string& body) {
+  if (static_cast<int>(lvl) < static_cast<int>(level())) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[" << level_name(lvl) << "] " << body << "\n";
+}
+
+}  // namespace tt::log

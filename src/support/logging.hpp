@@ -1,0 +1,44 @@
+// Minimal leveled logger. Global level, thread-safe line-buffered output.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace tt::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set/get the global log level. Messages below the level are dropped.
+void set_level(Level level);
+Level level();
+
+/// Emit a single log line (already formatted body). Thread safe.
+void emit(Level level, const std::string& body);
+
+namespace detail {
+
+class LineStream {
+ public:
+  explicit LineStream(Level lvl) : lvl_(lvl) {}
+  ~LineStream() { emit(lvl_, os_.str()); }
+  template <class T>
+  LineStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+inline detail::LineStream debug() { return detail::LineStream(Level::kDebug); }
+inline detail::LineStream info() { return detail::LineStream(Level::kInfo); }
+inline detail::LineStream warn() { return detail::LineStream(Level::kWarn); }
+inline detail::LineStream error() { return detail::LineStream(Level::kError); }
+
+}  // namespace tt::log

@@ -1,0 +1,85 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace tt {
+
+Table& Table::header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  TT_CHECK(header_.empty() || cells.size() == header_.size(),
+           "row width " << cells.size() << " != header width " << header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto grow = [&](const std::vector<std::string>& cells) {
+    if (width.size() < cells.size()) width.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      std::string c = i < cells.size() ? cells[i] : "";
+      os << " " << c << std::string(width[i] - c.size(), ' ') << " |";
+    }
+    os << "\n";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    os << render_row(header_);
+    os << "|";
+    for (std::size_t w : width) os << std::string(w + 2, '-') << "|";
+    os << "\n";
+  }
+  for (const auto& r : rows_) os << render_row(r);
+  return os.str();
+}
+
+void Table::print() const { std::cout << str() << std::flush; }
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+std::string fmt_int(long long v) {
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (v < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tt

@@ -1,0 +1,25 @@
+// Wall-clock timing utilities.
+#pragma once
+
+#include <chrono>
+
+namespace tt {
+
+/// Monotonic wall-clock stopwatch (seconds, double precision).
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace tt

@@ -1,0 +1,15 @@
+// Common scalar/index typedefs shared across the library.
+#pragma once
+
+#include <cstdint>
+
+namespace tt {
+
+/// Signed index type for all tensor/matrix dimensions and offsets.
+using index_t = std::int64_t;
+
+/// Scalar type. The paper's two benchmark Hamiltonians are real symmetric, so
+/// the whole library runs in real double precision (see DESIGN.md §2).
+using real_t = double;
+
+}  // namespace tt

@@ -1,0 +1,339 @@
+#include "symm/block_factor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "tensor/dense.hpp"
+
+namespace tt::symm {
+
+namespace {
+
+using tensor::DenseTensor;
+
+// Distinct sub-keys over one side of the bipartition, with fused offsets.
+struct SideLayout {
+  std::vector<BlockKey> keys;
+  std::vector<index_t> offsets;
+  std::vector<index_t> dims;
+  index_t total = 0;
+  std::map<BlockKey, int> pos;
+
+  int add(const BlockKey& k, index_t dim) {
+    auto it = pos.find(k);
+    if (it != pos.end()) return it->second;
+    const int id = static_cast<int>(keys.size());
+    pos.emplace(k, id);
+    keys.push_back(k);
+    offsets.push_back(total);
+    dims.push_back(dim);
+    total += dim;
+    return id;
+  }
+};
+
+struct Group {
+  QN g;  // Σ_rows sign·qn of every member block
+  SideLayout rows, cols;
+  std::vector<const std::pair<const BlockKey, DenseTensor>*> members;
+};
+
+BlockKey subkey(const BlockKey& key, const std::vector<int>& modes) {
+  BlockKey s;
+  s.reserve(modes.size());
+  for (int m : modes) s.push_back(key[static_cast<std::size_t>(m)]);
+  return s;
+}
+
+index_t subdim(const BlockTensor& a, const BlockKey& key, const std::vector<int>& modes) {
+  index_t d = 1;
+  for (int m : modes)
+    d *= a.index(m).sector(key[static_cast<std::size_t>(m)]).dim;
+  return d;
+}
+
+// Partition the tensor's present blocks into row-charge groups.
+std::vector<Group> build_groups(const BlockTensor& a, const std::vector<int>& row_modes,
+                                const std::vector<int>& col_modes) {
+  std::map<QN, Group> by_charge;
+  for (const auto& kv : a.blocks()) {
+    const QN g = a.partial_charge(kv.first, row_modes);
+    Group& grp = by_charge.try_emplace(g).first->second;
+    grp.g = g;
+    grp.rows.add(subkey(kv.first, row_modes), subdim(a, kv.first, row_modes));
+    grp.cols.add(subkey(kv.first, col_modes), subdim(a, kv.first, col_modes));
+    grp.members.push_back(&kv);
+  }
+  std::vector<Group> groups;
+  groups.reserve(by_charge.size());
+  for (auto& [g, grp] : by_charge) groups.push_back(std::move(grp));
+  return groups;
+}
+
+// Assemble the group's blocks into one dense matrix, blocks permuted to
+// [row_modes..., col_modes...] order ("wrapping" the tensor into an effective
+// order-2 matrix, §IV-A).
+linalg::Matrix assemble(const BlockTensor& a, const Group& grp,
+                        const std::vector<int>& row_modes,
+                        const std::vector<int>& col_modes) {
+  linalg::Matrix m(grp.rows.total, grp.cols.total);
+  std::vector<int> perm;
+  perm.reserve(row_modes.size() + col_modes.size());
+  for (int mo : row_modes) perm.push_back(mo);
+  for (int mo : col_modes) perm.push_back(mo);
+  for (const auto* kv : grp.members) {
+    const BlockKey& key = kv->first;
+    const DenseTensor block = kv->second.permuted(perm);
+    const index_t rdim = subdim(a, key, row_modes);
+    const index_t cdim = subdim(a, key, col_modes);
+    const index_t roff = grp.rows.offsets[static_cast<std::size_t>(
+        grp.rows.pos.at(subkey(key, row_modes)))];
+    const index_t coff = grp.cols.offsets[static_cast<std::size_t>(
+        grp.cols.pos.at(subkey(key, col_modes)))];
+    for (index_t r = 0; r < rdim; ++r)
+      for (index_t c = 0; c < cdim; ++c)
+        m(roff + r, coff + c) = block[r * cdim + c];
+  }
+  return m;
+}
+
+std::vector<int> complement_modes(const BlockTensor& a, const std::vector<int>& row_modes) {
+  std::vector<bool> is_row(static_cast<std::size_t>(a.order()), false);
+  for (int m : row_modes) {
+    TT_CHECK(m >= 0 && m < a.order(), "row mode " << m << " out of range");
+    TT_CHECK(!is_row[static_cast<std::size_t>(m)], "row mode " << m << " listed twice");
+    is_row[static_cast<std::size_t>(m)] = true;
+  }
+  std::vector<int> cols;
+  for (int m = 0; m < a.order(); ++m)
+    if (!is_row[static_cast<std::size_t>(m)]) cols.push_back(m);
+  TT_CHECK(!row_modes.empty() && !cols.empty(),
+           "bipartition must leave modes on both sides");
+  return cols;
+}
+
+// Scatter a (rows_total × keep) matrix into blocks "row modes + bond sector".
+void scatter_rows(BlockTensor& out, const BlockTensor& a, const Group& grp,
+                  const std::vector<int>& row_modes, const linalg::Matrix& u,
+                  index_t keep, int bond_sector) {
+  for (std::size_t rk = 0; rk < grp.rows.keys.size(); ++rk) {
+    const BlockKey& rkey = grp.rows.keys[rk];
+    const index_t roff = grp.rows.offsets[rk];
+    const index_t rdim = grp.rows.dims[rk];
+    std::vector<index_t> shape;
+    for (std::size_t t = 0; t < row_modes.size(); ++t)
+      shape.push_back(a.index(row_modes[t]).sector(rkey[t]).dim);
+    shape.push_back(keep);
+    DenseTensor blk(shape);
+    for (index_t r = 0; r < rdim; ++r)
+      for (index_t c = 0; c < keep; ++c) blk[r * keep + c] = u(roff + r, c);
+    BlockKey okey = rkey;
+    okey.push_back(bond_sector);
+    out.accumulate(okey, std::move(blk));
+  }
+}
+
+// Scatter a (keep × cols_total) matrix into blocks "bond sector + col modes".
+void scatter_cols(BlockTensor& out, const BlockTensor& a, const Group& grp,
+                  const std::vector<int>& col_modes, const linalg::Matrix& vt,
+                  index_t keep, int bond_sector) {
+  for (std::size_t ck = 0; ck < grp.cols.keys.size(); ++ck) {
+    const BlockKey& ckey = grp.cols.keys[ck];
+    const index_t coff = grp.cols.offsets[ck];
+    const index_t cdim = grp.cols.dims[ck];
+    std::vector<index_t> shape{keep};
+    for (std::size_t t = 0; t < col_modes.size(); ++t)
+      shape.push_back(a.index(col_modes[t]).sector(ckey[t]).dim);
+    DenseTensor blk(shape);
+    for (index_t r = 0; r < keep; ++r)
+      for (index_t c = 0; c < cdim; ++c) blk[r * cdim + c] = vt(r, coff + c);
+    BlockKey okey;
+    okey.push_back(bond_sector);
+    okey.insert(okey.end(), ckey.begin(), ckey.end());
+    out.accumulate(okey, std::move(blk));
+  }
+}
+
+std::vector<Index> side_indices(const BlockTensor& a, const std::vector<int>& modes) {
+  std::vector<Index> out;
+  out.reserve(modes.size());
+  for (int m : modes) out.push_back(a.index(m));
+  return out;
+}
+
+}  // namespace
+
+BlockQr block_qr(const BlockTensor& a, const std::vector<int>& row_modes) {
+  const std::vector<int> col_modes = complement_modes(a, row_modes);
+  const std::vector<Group> groups = build_groups(a, row_modes, col_modes);
+  TT_CHECK(!groups.empty(), "cannot QR-factor a block tensor with no blocks");
+
+  // Bond sectors: one per group, charge g, dim = min(rows, cols).
+  std::vector<Sector> bond_sectors;
+  for (const Group& grp : groups)
+    bond_sectors.push_back({grp.g, std::min(grp.rows.total, grp.cols.total)});
+  const Index bond_out(bond_sectors, Dir::Out);
+  const Index bond_in(bond_sectors, Dir::In);
+
+  std::vector<Index> q_idx = side_indices(a, row_modes);
+  q_idx.push_back(bond_out);
+  std::vector<Index> r_idx{bond_in};
+  for (const Index& i : side_indices(a, col_modes)) r_idx.push_back(i);
+
+  BlockQr out;
+  out.q = BlockTensor(q_idx, QN::zero(a.flux().rank()));
+  out.r = BlockTensor(r_idx, a.flux());
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const Group& grp = groups[gi];
+    const linalg::Matrix m = assemble(a, grp, row_modes, col_modes);
+    auto f = linalg::qr(m);
+    const index_t keep = bond_sectors[gi].dim;
+    scatter_rows(out.q, a, grp, row_modes, f.q, keep, static_cast<int>(gi));
+    scatter_cols(out.r, a, grp, col_modes, f.r, keep, static_cast<int>(gi));
+    out.shapes.push_back({m.rows(), m.cols()});
+  }
+  return out;
+}
+
+BlockLq block_lq(const BlockTensor& a, const std::vector<int>& row_modes) {
+  const std::vector<int> col_modes = complement_modes(a, row_modes);
+  const std::vector<Group> groups = build_groups(a, row_modes, col_modes);
+  TT_CHECK(!groups.empty(), "cannot LQ-factor a block tensor with no blocks");
+
+  // Bond charge is g − flux so that Q (bond + col modes) carries flux 0 with
+  // the bond direction In — preserving the MPS leg convention downstream.
+  std::vector<Sector> bond_sectors;
+  for (const Group& grp : groups)
+    bond_sectors.push_back({grp.g - a.flux(), std::min(grp.rows.total, grp.cols.total)});
+  const Index bond_out(bond_sectors, Dir::Out);
+  const Index bond_in(bond_sectors, Dir::In);
+
+  std::vector<Index> l_idx = side_indices(a, row_modes);
+  l_idx.push_back(bond_out);
+  std::vector<Index> q_idx{bond_in};
+  for (const Index& i : side_indices(a, col_modes)) q_idx.push_back(i);
+
+  BlockLq out;
+  out.l = BlockTensor(l_idx, a.flux());
+  out.q = BlockTensor(q_idx, QN::zero(a.flux().rank()));
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const Group& grp = groups[gi];
+    const linalg::Matrix m = assemble(a, grp, row_modes, col_modes);
+    auto f = linalg::lq(m);
+    const index_t keep = bond_sectors[gi].dim;
+    scatter_rows(out.l, a, grp, row_modes, f.l, keep, static_cast<int>(gi));
+    scatter_cols(out.q, a, grp, col_modes, f.q, keep, static_cast<int>(gi));
+    out.shapes.push_back({m.rows(), m.cols()});
+  }
+  return out;
+}
+
+BlockTensor BlockSvd::u_times_s() const {
+  BlockTensor out = u;
+  const int bond_mode = out.order() - 1;
+  // Scale each block's trailing (bond) mode slice j by σ_j of its sector.
+  for (const auto& [key, blk] : u.blocks()) {
+    const auto& s = singular_values[static_cast<std::size_t>(key.back())];
+    tensor::DenseTensor& dst = out.block(key);
+    const index_t rg = dst.dim(bond_mode);
+    const index_t lead = dst.size() / std::max<index_t>(rg, 1);
+    for (index_t i = 0; i < lead; ++i)
+      for (index_t j = 0; j < rg; ++j) dst[i * rg + j] *= s[static_cast<std::size_t>(j)];
+  }
+  return out;
+}
+
+BlockTensor BlockSvd::s_times_vt() const {
+  BlockTensor out = vt;
+  for (const auto& [key, blk] : vt.blocks()) {
+    const auto& s = singular_values[static_cast<std::size_t>(key.front())];
+    tensor::DenseTensor& dst = out.block(key);
+    const index_t rg = dst.dim(0);
+    const index_t tail = dst.size() / std::max<index_t>(rg, 1);
+    for (index_t j = 0; j < rg; ++j)
+      for (index_t c = 0; c < tail; ++c) dst[j * tail + c] *= s[static_cast<std::size_t>(j)];
+  }
+  return out;
+}
+
+BlockSvd block_svd(const BlockTensor& a, const std::vector<int>& row_modes,
+                   const TruncParams& trunc) {
+  const std::vector<int> col_modes = complement_modes(a, row_modes);
+  const std::vector<Group> groups = build_groups(a, row_modes, col_modes);
+  TT_CHECK(!groups.empty(), "cannot SVD a block tensor with no blocks");
+
+  // Factor each group independently.
+  std::vector<linalg::SvdResult> factors;
+  factors.reserve(groups.size());
+  BlockSvd out;
+  for (const Group& grp : groups) {
+    const linalg::Matrix m = assemble(a, grp, row_modes, col_modes);
+    factors.push_back(linalg::svd(m));
+    out.shapes.push_back({m.rows(), m.cols()});
+  }
+
+  // Global truncation: pool all singular values, keep the largest subject to
+  // cutoff and bond cap (paper §II.C).
+  struct Sv {
+    real_t s;
+    std::size_t group;
+  };
+  std::vector<Sv> pool;
+  for (std::size_t gi = 0; gi < factors.size(); ++gi)
+    for (real_t s : factors[gi].s) pool.push_back({s, gi});
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const Sv& x, const Sv& y) { return x.s > y.s; });
+
+  const real_t sigma_max = pool.empty() ? 0.0 : pool.front().s;
+  const real_t cutoff = std::max(trunc.cutoff, trunc.rel_cutoff * sigma_max);
+  index_t keep_total = 0;
+  for (const Sv& sv : pool) {
+    if (keep_total >= trunc.max_dim || sv.s <= cutoff) break;
+    ++keep_total;
+  }
+  if (keep_total == 0 && !pool.empty()) keep_total = 1;  // never empty the bond
+
+  std::vector<index_t> keep(groups.size(), 0);
+  for (index_t i = 0; i < keep_total; ++i) ++keep[pool[static_cast<std::size_t>(i)].group];
+  for (std::size_t i = static_cast<std::size_t>(keep_total); i < pool.size(); ++i)
+    out.truncation_error += pool[i].s * pool[i].s;
+  out.kept = keep_total;
+
+  // Bond index: sectors only for groups that kept weight, in group order.
+  std::vector<Sector> bond_sectors;
+  std::vector<int> bond_id(groups.size(), -1);
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    if (keep[gi] == 0) continue;
+    bond_id[gi] = static_cast<int>(bond_sectors.size());
+    bond_sectors.push_back({groups[gi].g, keep[gi]});
+  }
+  TT_CHECK(!bond_sectors.empty(), "SVD truncated away every sector");
+  out.bond = Index(bond_sectors, Dir::Out);
+  const Index bond_in = out.bond.reversed();
+
+  std::vector<Index> u_idx = side_indices(a, row_modes);
+  u_idx.push_back(out.bond);
+  std::vector<Index> vt_idx{bond_in};
+  for (const Index& i : side_indices(a, col_modes)) vt_idx.push_back(i);
+
+  out.u = BlockTensor(u_idx, QN::zero(a.flux().rank()));
+  out.vt = BlockTensor(vt_idx, a.flux());
+  out.singular_values.assign(bond_sectors.size(), {});
+
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    if (keep[gi] == 0) continue;
+    const Group& grp = groups[gi];
+    const linalg::SvdResult& f = factors[gi];
+    const index_t kg = keep[gi];
+    scatter_rows(out.u, a, grp, row_modes, f.u, kg, bond_id[gi]);
+    scatter_cols(out.vt, a, grp, col_modes, f.vt, kg, bond_id[gi]);
+    auto& sv = out.singular_values[static_cast<std::size_t>(bond_id[gi])];
+    sv.assign(f.s.begin(), f.s.begin() + kg);
+  }
+  return out;
+}
+
+}  // namespace tt::symm

@@ -1,0 +1,53 @@
+// Block-sparse tensor contraction — paper Algorithm 2.
+//
+// Enumerates pairs of blocks whose contracted sector labels match, contracts
+// each pair with the dense einsum kernel, and accumulates results into the
+// output block keyed by the remaining labels. Per-block-pair costs are
+// reported so the list engine can charge the Table II cost model block-wise.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "symm/block_tensor.hpp"
+
+namespace tt::symm {
+
+/// Cost of one block-pair contraction (words = stored dense elements).
+struct BlockOpCost {
+  double flops = 0.0;
+  double words_a = 0.0;
+  double words_b = 0.0;
+  double words_c = 0.0;
+};
+
+/// Aggregate execution record of one block-sparse contraction.
+struct ContractStats {
+  double total_flops = 0.0;
+  double permuted_words = 0.0;
+  std::vector<BlockOpCost> block_ops;  ///< one entry per block pair contracted
+};
+
+/// Validated structural plan of a block contraction, shared by the list
+/// algorithm (block-wise) and the fused single-tensor algorithms.
+struct ContractPlan {
+  std::vector<int> free_a, free_b;      ///< uncontracted mode positions
+  std::vector<Index> out_indices;       ///< free(a) then free(b)
+  QN out_flux;                          ///< flux(a) + flux(b)
+  std::string spec;                     ///< einsum spec usable on fused tensors
+};
+
+/// Validate the contraction pattern and derive the output structure.
+/// Throws tt::Error for non-contractible leg pairs.
+ContractPlan make_contract_plan(const BlockTensor& a, const BlockTensor& b,
+                                const std::vector<std::pair<int, int>>& pairs);
+
+/// Contract `a` with `b` over the given (modeA, modeB) pairs. Contracted leg
+/// pairs must be contractible (equal sector lists, opposite directions).
+/// Output indices: free modes of `a` in order, then free modes of `b`;
+/// output flux = flux(a) + flux(b).
+BlockTensor contract(const BlockTensor& a, const BlockTensor& b,
+                     const std::vector<std::pair<int, int>>& pairs,
+                     ContractStats* stats = nullptr);
+
+}  // namespace tt::symm

@@ -1,0 +1,92 @@
+// Abelian (U(1)^r) quantum numbers.
+//
+// A QN is a tuple of up to two integer charges. Rank 1 covers the spin system
+// (charge = 2·Sz so everything stays integral); rank 2 covers the electron
+// system (particle number N and 2·Sz), whose two conserved quantities drive
+// the much finer block structure the paper observes (Fig 2).
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace tt::symm {
+
+/// Tuple of U(1) charges; addition is component-wise.
+class QN {
+ public:
+  static constexpr int kMaxRank = 2;
+
+  QN() = default;                      ///< rank-0 (trivial symmetry)
+  explicit QN(int q0) : rank_(1) { q_[0] = q0; }
+  QN(int q0, int q1) : rank_(2) {
+    q_[0] = q0;
+    q_[1] = q1;
+  }
+
+  static QN zero(int rank) {
+    TT_CHECK(rank >= 0 && rank <= kMaxRank, "invalid QN rank " << rank);
+    QN z;
+    z.rank_ = rank;
+    return z;
+  }
+
+  int rank() const { return rank_; }
+
+  int operator[](int i) const {
+    TT_CHECK(i >= 0 && i < rank_, "QN component " << i << " out of range");
+    return q_[static_cast<std::size_t>(i)];
+  }
+
+  QN operator+(const QN& o) const {
+    check_rank(o);
+    QN r = *this;
+    for (int i = 0; i < rank_; ++i) r.q_[static_cast<std::size_t>(i)] += o.q_[static_cast<std::size_t>(i)];
+    return r;
+  }
+
+  QN operator-(const QN& o) const { return *this + (-o); }
+
+  QN operator-() const {
+    QN r = *this;
+    for (int i = 0; i < rank_; ++i) r.q_[static_cast<std::size_t>(i)] = -r.q_[static_cast<std::size_t>(i)];
+    return r;
+  }
+
+  friend bool operator==(const QN& a, const QN& b) {
+    return a.rank_ == b.rank_ && a.q_ == b.q_;
+  }
+  friend bool operator!=(const QN& a, const QN& b) { return !(a == b); }
+  friend bool operator<(const QN& a, const QN& b) {
+    if (a.rank_ != b.rank_) return a.rank_ < b.rank_;
+    return a.q_ < b.q_;
+  }
+
+  bool is_zero() const {
+    for (int i = 0; i < rank_; ++i)
+      if (q_[static_cast<std::size_t>(i)] != 0) return false;
+    return true;
+  }
+
+  std::string str() const {
+    std::string s = "(";
+    for (int i = 0; i < rank_; ++i) {
+      if (i) s += ",";
+      s += std::to_string(q_[static_cast<std::size_t>(i)]);
+    }
+    return s + ")";
+  }
+
+ private:
+  void check_rank(const QN& o) const {
+    TT_CHECK(rank_ == o.rank_,
+             "QN rank mismatch: " << rank_ << " vs " << o.rank_);
+  }
+
+  std::array<int, kMaxRank> q_{0, 0};
+  int rank_ = 0;
+};
+
+}  // namespace tt::symm

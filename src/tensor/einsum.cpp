@@ -1,0 +1,509 @@
+#include "tensor/einsum.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "linalg/gemm.hpp"
+#include "support/error.hpp"
+
+namespace tt::tensor {
+
+namespace {
+
+bool contains_char(const std::string& s, char c) {
+  return s.find(c) != std::string::npos;
+}
+
+void check_unique_labels(const std::string& s, const char* which) {
+  for (std::size_t i = 0; i < s.size(); ++i)
+    for (std::size_t j = i + 1; j < s.size(); ++j)
+      TT_CHECK(s[i] != s[j], "repeated label '" << s[i] << "' in " << which
+                                                << " operand (traces unsupported)");
+}
+
+// Classified contraction plan shared by all kernels.
+struct Plan {
+  std::vector<int> free_a, con_a;  // mode positions within A
+  std::vector<int> con_b, free_b;  // mode positions within B (con_b parallel to con_a)
+  std::vector<int> cperm;          // tmp [free_a, free_b] -> C mode order
+  std::vector<index_t> tmp_shape;
+  index_t m = 1, n = 1, k = 1;
+  bool cperm_identity = true;
+};
+
+Plan make_plan(const EinsumSpec& spec, const std::vector<index_t>& sa,
+               const std::vector<index_t>& sb) {
+  TT_CHECK(spec.a.size() == sa.size(), "einsum: spec '" << spec.a << "' does not match order "
+                                                        << sa.size() << " of first operand");
+  TT_CHECK(spec.b.size() == sb.size(), "einsum: spec '" << spec.b << "' does not match order "
+                                                        << sb.size() << " of second operand");
+  Plan p;
+  std::string tmp_labels;
+  for (std::size_t i = 0; i < spec.a.size(); ++i) {
+    const char l = spec.a[i];
+    const bool in_b = contains_char(spec.b, l);
+    const bool in_c = contains_char(spec.c, l);
+    TT_CHECK(in_b != in_c, "einsum label '" << l << "' must appear in exactly one of the "
+                                            << "second operand or the output");
+    if (in_c) {
+      p.free_a.push_back(static_cast<int>(i));
+      tmp_labels.push_back(l);
+      p.m *= sa[i];
+    } else {
+      p.con_a.push_back(static_cast<int>(i));
+      const auto jb = spec.b.find(l);
+      p.con_b.push_back(static_cast<int>(jb));
+      TT_CHECK(sa[i] == sb[jb], "einsum dimension mismatch on label '"
+                                    << l << "': " << sa[i] << " vs " << sb[jb]);
+      p.k *= sa[i];
+    }
+  }
+  for (std::size_t i = 0; i < spec.b.size(); ++i) {
+    const char l = spec.b[i];
+    const bool in_a = contains_char(spec.a, l);
+    const bool in_c = contains_char(spec.c, l);
+    if (in_a) continue;  // contracted, already planned
+    TT_CHECK(in_c, "einsum label '" << l << "' of the second operand is neither "
+                                    << "contracted nor in the output");
+    p.free_b.push_back(static_cast<int>(i));
+    tmp_labels.push_back(l);
+    p.n *= sb[i];
+  }
+  TT_CHECK(spec.c.size() == tmp_labels.size(),
+           "einsum output '" << spec.c << "' does not cover the free labels '" << tmp_labels
+                             << "'");
+  for (char l : spec.c)
+    TT_CHECK(contains_char(tmp_labels, l), "einsum output label '" << l
+                                                                   << "' not produced by inputs");
+  p.tmp_shape.reserve(tmp_labels.size());
+  for (int mode : p.free_a) p.tmp_shape.push_back(sa[static_cast<std::size_t>(mode)]);
+  for (int mode : p.free_b) p.tmp_shape.push_back(sb[static_cast<std::size_t>(mode)]);
+  p.cperm.resize(spec.c.size());
+  for (std::size_t i = 0; i < spec.c.size(); ++i) {
+    p.cperm[i] = static_cast<int>(tmp_labels.find(spec.c[i]));
+    if (p.cperm[i] != static_cast<int>(i)) p.cperm_identity = false;
+  }
+  return p;
+}
+
+bool is_identity(const std::vector<int>& perm) {
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    if (perm[i] != static_cast<int>(i)) return false;
+  return true;
+}
+
+// Row-major linearization helpers for sparse entries. For each nonzero, split
+// its flat index into per-mode indices and re-linearize selected modes.
+struct ModeSplit {
+  std::vector<index_t> strides;  // input strides per mode
+  std::vector<index_t> dims;
+};
+
+ModeSplit make_split(const std::vector<index_t>& shape) {
+  ModeSplit s;
+  s.dims = shape;
+  s.strides.assign(shape.size(), 1);
+  for (int i = static_cast<int>(shape.size()) - 2; i >= 0; --i)
+    s.strides[static_cast<std::size_t>(i)] =
+        s.strides[static_cast<std::size_t>(i + 1)] * shape[static_cast<std::size_t>(i + 1)];
+  return s;
+}
+
+// Linearized key over a subset of modes, weighted by arbitrary strides.
+index_t relinearize(index_t flat, const ModeSplit& split, const std::vector<int>& modes,
+                    const std::vector<index_t>& weights) {
+  index_t key = 0;
+  for (std::size_t t = 0; t < modes.size(); ++t) {
+    const auto mode = static_cast<std::size_t>(modes[t]);
+    const index_t idx = (flat / split.strides[mode]) % split.dims[mode];
+    key += idx * weights[t];
+  }
+  return key;
+}
+
+// Row-major weights for a selected list of modes.
+std::vector<index_t> packed_weights(const std::vector<index_t>& shape,
+                                    const std::vector<int>& modes) {
+  std::vector<index_t> w(modes.size(), 1);
+  for (int t = static_cast<int>(modes.size()) - 2; t >= 0; --t)
+    w[static_cast<std::size_t>(t)] =
+        w[static_cast<std::size_t>(t + 1)] *
+        shape[static_cast<std::size_t>(modes[static_cast<std::size_t>(t + 1)])];
+  return w;
+}
+
+// Weights that map each selected mode straight to its stride in the output
+// tensor (used to build final C flats without an intermediate permute).
+std::vector<index_t> output_weights(const EinsumSpec& spec, const std::string& op_labels,
+                                    const std::vector<int>& modes,
+                                    const std::vector<index_t>& c_strides) {
+  std::vector<index_t> w(modes.size(), 0);
+  for (std::size_t t = 0; t < modes.size(); ++t) {
+    const char l = op_labels[static_cast<std::size_t>(modes[t])];
+    const auto pos = spec.c.find(l);
+    TT_ASSERT(pos != std::string::npos, "free label missing from output");
+    w[t] = c_strides[pos];
+  }
+  return w;
+}
+
+std::vector<index_t> shape_of_output(const EinsumSpec& spec, const std::vector<index_t>& sa,
+                                     const std::vector<index_t>& sb) {
+  std::vector<index_t> cs(spec.c.size());
+  for (std::size_t i = 0; i < spec.c.size(); ++i) {
+    const char l = spec.c[i];
+    auto pa = spec.a.find(l);
+    cs[i] = (pa != std::string::npos) ? sa[pa] : sb[spec.b.find(l)];
+  }
+  return cs;
+}
+
+std::vector<index_t> strides_for(const std::vector<index_t>& shape) {
+  std::vector<index_t> s(shape.size(), 1);
+  for (int i = static_cast<int>(shape.size()) - 2; i >= 0; --i)
+    s[static_cast<std::size_t>(i)] =
+        s[static_cast<std::size_t>(i + 1)] * shape[static_cast<std::size_t>(i + 1)];
+  return s;
+}
+
+}  // namespace
+
+EinsumSpec EinsumSpec::parse(const std::string& spec) {
+  const auto arrow = spec.find("->");
+  TT_CHECK(arrow != std::string::npos, "einsum spec missing '->': " << spec);
+  const std::string lhs = spec.substr(0, arrow);
+  EinsumSpec out;
+  out.c = spec.substr(arrow + 2);
+  const auto comma = lhs.find(',');
+  TT_CHECK(comma != std::string::npos, "einsum spec must have two operands: " << spec);
+  out.a = lhs.substr(0, comma);
+  out.b = lhs.substr(comma + 1);
+  TT_CHECK(out.b.find(',') == std::string::npos,
+           "einsum supports exactly two operands: " << spec);
+  check_unique_labels(out.a, "first");
+  check_unique_labels(out.b, "second");
+  check_unique_labels(out.c, "output");
+  return out;
+}
+
+DenseTensor einsum(const std::string& spec_str, const DenseTensor& a,
+                   const DenseTensor& b, EinsumStats* stats) {
+  const EinsumSpec spec = EinsumSpec::parse(spec_str);
+  const Plan p = make_plan(spec, a.shape(), b.shape());
+
+  double permuted = 0.0;
+  std::vector<int> pa = p.free_a;
+  pa.insert(pa.end(), p.con_a.begin(), p.con_a.end());
+  std::vector<int> pb = p.con_b;
+  pb.insert(pb.end(), p.free_b.begin(), p.free_b.end());
+
+  const DenseTensor* ap = &a;
+  const DenseTensor* bp = &b;
+  DenseTensor a_work, b_work;
+  if (!is_identity(pa)) {
+    a_work = a.permuted(pa);
+    ap = &a_work;
+    permuted += static_cast<double>(a.size());
+  }
+  if (!is_identity(pb)) {
+    b_work = b.permuted(pb);
+    bp = &b_work;
+    permuted += static_cast<double>(b.size());
+  }
+
+  DenseTensor tmp(p.tmp_shape);
+  linalg::gemm_raw(false, false, p.m, p.n, p.k, 1.0, ap->data(), bp->data(), 0.0,
+                   tmp.data());
+
+  DenseTensor out;
+  if (p.cperm_identity) {
+    out = std::move(tmp);
+  } else {
+    out = tmp.permuted(p.cperm);
+    permuted += static_cast<double>(out.size());
+  }
+  if (stats) {
+    stats->flops += linalg::gemm_flops(p.m, p.n, p.k);
+    stats->permuted_words += permuted;
+    stats->m = p.m;
+    stats->n = p.n;
+    stats->k = p.k;
+  }
+  return out;
+}
+
+SparseTensor einsum_ss(const std::string& spec_str, const SparseTensor& a,
+                       const SparseTensor& b, EinsumStats* stats,
+                       const SparseTensor* out_mask) {
+  const EinsumSpec spec = EinsumSpec::parse(spec_str);
+  const Plan p = make_plan(spec, a.shape(), b.shape());
+  const std::vector<index_t> c_shape = shape_of_output(spec, a.shape(), b.shape());
+  const std::vector<index_t> c_strides = strides_for(c_shape);
+  if (out_mask)
+    TT_CHECK(out_mask->shape() == c_shape, "einsum_ss output mask shape mismatch");
+
+  const ModeSplit sa = make_split(a.shape());
+  const ModeSplit sb = make_split(b.shape());
+  const std::vector<index_t> ka_w = packed_weights(a.shape(), p.con_a);
+  // Contracted key weights for B must match A's ordering/dims (same labels).
+  std::vector<index_t> kb_w(p.con_b.size(), 1);
+  for (int t = static_cast<int>(p.con_b.size()) - 2; t >= 0; --t)
+    kb_w[static_cast<std::size_t>(t)] =
+        kb_w[static_cast<std::size_t>(t + 1)] *
+        a.shape()[static_cast<std::size_t>(p.con_a[static_cast<std::size_t>(t + 1)])];
+  const std::vector<index_t> ra_w = output_weights(spec, spec.a, p.free_a, c_strides);
+  const std::vector<index_t> cb_w = output_weights(spec, spec.b, p.free_b, c_strides);
+
+  struct Entry {
+    index_t key;      // contracted-mode linearization
+    index_t contrib;  // contribution to the output flat index
+    real_t val;
+  };
+  auto gather = [](const SparseTensor& t, const ModeSplit& split,
+                   const std::vector<int>& kmodes, const std::vector<index_t>& kw,
+                   const std::vector<int>& fmodes, const std::vector<index_t>& fw) {
+    std::vector<Entry> es;
+    es.reserve(static_cast<std::size_t>(t.nnz()));
+    auto idx = t.indices();
+    auto val = t.values();
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      Entry e;
+      e.key = relinearize(idx[i], split, kmodes, kw);
+      e.contrib = relinearize(idx[i], split, fmodes, fw);
+      e.val = val[i];
+      es.push_back(e);
+    }
+    std::sort(es.begin(), es.end(),
+              [](const Entry& x, const Entry& y) { return x.key < y.key; });
+    return es;
+  };
+
+  const std::vector<Entry> ea = gather(a, sa, p.con_a, ka_w, p.free_a, ra_w);
+  const std::vector<Entry> eb = gather(b, sb, p.con_b, kb_w, p.free_b, cb_w);
+
+  // Merge-join matching contracted keys; one (start, end) group pair per key.
+  struct Group {
+    std::size_t a0, a1, b0, b1;
+  };
+  std::vector<Group> groups;
+  {
+    std::size_t i = 0, j = 0;
+    while (i < ea.size() && j < eb.size()) {
+      if (ea[i].key < eb[j].key) {
+        ++i;
+      } else if (eb[j].key < ea[i].key) {
+        ++j;
+      } else {
+        const index_t key = ea[i].key;
+        Group g{i, i, j, j};
+        while (g.a1 < ea.size() && ea[g.a1].key == key) ++g.a1;
+        while (g.b1 < eb.size() && eb[g.b1].key == key) ++g.b1;
+        groups.push_back(g);
+        i = g.a1;
+        j = g.b1;
+      }
+    }
+  }
+
+  SparseTensor out(c_shape);
+  double flops = 0.0;
+#ifdef _OPENMP
+  const int nthreads = omp_get_max_threads();
+#else
+  const int nthreads = 1;
+#endif
+  std::vector<std::unordered_map<index_t, real_t>> partial(
+      static_cast<std::size_t>(nthreads));
+  std::vector<double> partial_flops(static_cast<std::size_t>(nthreads), 0.0);
+
+#pragma omp parallel for schedule(dynamic, 8) if (groups.size() > 16)
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+#ifdef _OPENMP
+    auto& acc = partial[static_cast<std::size_t>(omp_get_thread_num())];
+    auto& fl = partial_flops[static_cast<std::size_t>(omp_get_thread_num())];
+#else
+    auto& acc = partial[0];
+    auto& fl = partial_flops[0];
+#endif
+    const Group& gr = groups[g];
+    for (std::size_t ia = gr.a0; ia < gr.a1; ++ia) {
+      for (std::size_t ib = gr.b0; ib < gr.b1; ++ib) {
+        const index_t flat = ea[ia].contrib + eb[ib].contrib;
+        if (out_mask && !out_mask->contains(flat)) continue;
+        acc[flat] += ea[ia].val * eb[ib].val;
+        fl += 2.0;
+      }
+    }
+  }
+  for (int t = 0; t < nthreads; ++t) {
+    for (const auto& [flat, v] : partial[static_cast<std::size_t>(t)]) out.add(flat, v);
+    flops += partial_flops[static_cast<std::size_t>(t)];
+  }
+  out.finalize();
+  if (stats) {
+    stats->flops += flops;
+    stats->m = p.m;
+    stats->n = p.n;
+    stats->k = p.k;
+  }
+  return out;
+}
+
+DenseTensor einsum_sd(const std::string& spec_str, const SparseTensor& a,
+                      const DenseTensor& b, EinsumStats* stats) {
+  const EinsumSpec spec = EinsumSpec::parse(spec_str);
+  const Plan p = make_plan(spec, a.shape(), b.shape());
+
+  // Dense operand to [contracted, free_b] matrix form.
+  std::vector<int> pb = p.con_b;
+  pb.insert(pb.end(), p.free_b.begin(), p.free_b.end());
+  const DenseTensor* bp = &b;
+  DenseTensor b_work;
+  double permuted = 0.0;
+  if (!is_identity(pb)) {
+    b_work = b.permuted(pb);
+    bp = &b_work;
+    permuted += static_cast<double>(b.size());
+  }
+
+  const ModeSplit sa = make_split(a.shape());
+  const std::vector<index_t> row_w = packed_weights(a.shape(), p.free_a);
+  const std::vector<index_t> k_w = packed_weights(a.shape(), p.con_a);
+
+  struct Entry {
+    index_t row, key;
+    real_t val;
+  };
+  std::vector<Entry> es;
+  es.reserve(static_cast<std::size_t>(a.nnz()));
+  {
+    auto idx = a.indices();
+    auto val = a.values();
+    for (std::size_t i = 0; i < idx.size(); ++i)
+      es.push_back({relinearize(idx[i], sa, p.free_a, row_w),
+                    relinearize(idx[i], sa, p.con_a, k_w), val[i]});
+  }
+  std::sort(es.begin(), es.end(), [](const Entry& x, const Entry& y) {
+    return x.row < y.row || (x.row == y.row && x.key < y.key);
+  });
+  // Row group boundaries for conflict-free parallel accumulation.
+  std::vector<std::size_t> starts;
+  for (std::size_t i = 0; i < es.size(); ++i)
+    if (i == 0 || es[i].row != es[i - 1].row) starts.push_back(i);
+  starts.push_back(es.size());
+
+  DenseTensor tmp(p.tmp_shape);
+  const index_t n = p.n;
+  double flops = 0.0;
+  const std::size_t ngroups = starts.empty() ? 0 : starts.size() - 1;
+#pragma omp parallel for schedule(dynamic, 4) reduction(+ : flops) \
+    if (ngroups > 8 && tmp.size() > (index_t{1} << 14))
+  for (std::size_t gi = 0; gi < ngroups; ++gi) {
+    real_t* crow = tmp.data() + es[starts[gi]].row * n;
+    for (std::size_t e = starts[gi]; e < starts[gi + 1]; ++e) {
+      const real_t* brow = bp->data() + es[e].key * n;
+      const real_t v = es[e].val;
+      for (index_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+      flops += 2.0 * static_cast<double>(n);
+    }
+  }
+
+  DenseTensor out;
+  if (p.cperm_identity) {
+    out = std::move(tmp);
+  } else {
+    out = tmp.permuted(p.cperm);
+    permuted += static_cast<double>(out.size());
+  }
+  if (stats) {
+    stats->flops += flops;
+    stats->permuted_words += permuted;
+    stats->m = p.m;
+    stats->n = p.n;
+    stats->k = p.k;
+  }
+  return out;
+}
+
+DenseTensor einsum_ds(const std::string& spec_str, const DenseTensor& a,
+                      const SparseTensor& b, EinsumStats* stats) {
+  const EinsumSpec spec = EinsumSpec::parse(spec_str);
+  const Plan p = make_plan(spec, a.shape(), b.shape());
+
+  // Dense operand to [free_a, contracted] matrix form.
+  std::vector<int> pa = p.free_a;
+  pa.insert(pa.end(), p.con_a.begin(), p.con_a.end());
+  const DenseTensor* apm = &a;
+  DenseTensor a_work;
+  double permuted = 0.0;
+  if (!is_identity(pa)) {
+    a_work = a.permuted(pa);
+    apm = &a_work;
+    permuted += static_cast<double>(a.size());
+  }
+
+  const ModeSplit sb = make_split(b.shape());
+  // B's contracted key must be linearized with the same mode order/dims as A's
+  // trailing contracted modes.
+  std::vector<index_t> kb_w(p.con_b.size(), 1);
+  for (int t = static_cast<int>(p.con_b.size()) - 2; t >= 0; --t)
+    kb_w[static_cast<std::size_t>(t)] =
+        kb_w[static_cast<std::size_t>(t + 1)] *
+        a.shape()[static_cast<std::size_t>(p.con_a[static_cast<std::size_t>(t + 1)])];
+  const std::vector<index_t> col_w = packed_weights(b.shape(), p.free_b);
+
+  struct Entry {
+    index_t key, col;
+    real_t val;
+  };
+  std::vector<Entry> es;
+  es.reserve(static_cast<std::size_t>(b.nnz()));
+  {
+    auto idx = b.indices();
+    auto val = b.values();
+    for (std::size_t i = 0; i < idx.size(); ++i)
+      es.push_back({relinearize(idx[i], sb, p.con_b, kb_w),
+                    relinearize(idx[i], sb, p.free_b, col_w), val[i]});
+  }
+  std::sort(es.begin(), es.end(), [](const Entry& x, const Entry& y) {
+    return x.key < y.key || (x.key == y.key && x.col < y.col);
+  });
+
+  DenseTensor tmp(p.tmp_shape);
+  const index_t m = p.m, n = p.n, k = p.k;
+  double flops = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : flops) \
+    if (m > 4 && static_cast<double>(m) * static_cast<double>(es.size()) > 1e5)
+  for (index_t r = 0; r < m; ++r) {
+    const real_t* arow = apm->data() + r * k;
+    real_t* crow = tmp.data() + r * n;
+    for (const Entry& e : es) {
+      crow[e.col] += arow[e.key] * e.val;
+    }
+    flops += 2.0 * static_cast<double>(es.size());
+  }
+
+  DenseTensor out;
+  if (p.cperm_identity) {
+    out = std::move(tmp);
+  } else {
+    out = tmp.permuted(p.cperm);
+    permuted += static_cast<double>(out.size());
+  }
+  if (stats) {
+    stats->flops += flops;
+    stats->permuted_words += permuted;
+    stats->m = p.m;
+    stats->n = p.n;
+    stats->k = p.k;
+  }
+  return out;
+}
+
+}  // namespace tt::tensor

@@ -1,0 +1,55 @@
+// Einstein-summation contraction of two tensors (dense and sparse kernels).
+//
+// This is the contraction interface of the Cyclops stand-in: a spec string
+// like "akb,bscd->aksc" names each mode with one character; labels shared by
+// both inputs and absent from the output are summed. Execution follows CTF:
+// permute operands into matrix layout, GEMM (or an SpGEMM-style kernel for
+// sparse operands), permute the result back.
+//
+// Restrictions (checked): no repeated label within one operand (no traces) and
+// no label present in both inputs *and* the output (no batch/Hadamard modes).
+// DMRG needs neither.
+#pragma once
+
+#include <string>
+
+#include "tensor/dense.hpp"
+#include "tensor/sparse.hpp"
+
+namespace tt::tensor {
+
+/// Parsed einsum specification.
+struct EinsumSpec {
+  std::string a, b, c;
+
+  /// Parse "ab,bc->ac"; throws tt::Error on malformed specs.
+  static EinsumSpec parse(const std::string& spec);
+};
+
+/// Execution metadata, consumed by the runtime cost model.
+struct EinsumStats {
+  double flops = 0.0;           ///< 2·(scalar multiplies)
+  double permuted_words = 0.0;  ///< elements moved by layout permutations
+  index_t m = 0, n = 0, k = 0;  ///< matricized GEMM dimensions (dense path)
+};
+
+/// Dense × dense → dense.
+DenseTensor einsum(const std::string& spec, const DenseTensor& a,
+                   const DenseTensor& b, EinsumStats* stats = nullptr);
+
+/// Sparse × sparse → sparse. If `out_mask` is non-null, only locations present
+/// in the mask are accumulated (the paper's precomputed output sparsity, which
+/// Cyclops uses to bound memory during sparse contraction).
+SparseTensor einsum_ss(const std::string& spec, const SparseTensor& a,
+                       const SparseTensor& b, EinsumStats* stats = nullptr,
+                       const SparseTensor* out_mask = nullptr);
+
+/// Sparse × dense → dense.
+DenseTensor einsum_sd(const std::string& spec, const SparseTensor& a,
+                      const DenseTensor& b, EinsumStats* stats = nullptr);
+
+/// Dense × sparse → dense.
+DenseTensor einsum_ds(const std::string& spec, const DenseTensor& a,
+                      const SparseTensor& b, EinsumStats* stats = nullptr);
+
+}  // namespace tt::tensor

@@ -1,0 +1,108 @@
+#include "tensor/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace tt::tensor {
+
+SparseTensor::SparseTensor(std::vector<index_t> shape) : shape_(std::move(shape)) {
+  for (index_t d : shape_) TT_CHECK(d >= 0, "negative sparse tensor dimension " << d);
+}
+
+SparseTensor SparseTensor::from_dense(const DenseTensor& d, real_t tol) {
+  SparseTensor s(d.shape());
+  for (index_t i = 0; i < d.size(); ++i)
+    if (std::abs(d[i]) > tol) s.add(i, d[i]);
+  s.finalize();
+  return s;
+}
+
+DenseTensor SparseTensor::to_dense() const {
+  TT_CHECK(finalized_, "to_dense requires a finalized sparse tensor");
+  DenseTensor d(shape_);
+  for (std::size_t i = 0; i < idx_.size(); ++i) d[idx_[i]] = val_[i];
+  return d;
+}
+
+void SparseTensor::add(index_t flat, real_t v) {
+  TT_ASSERT(flat >= 0 && flat < size(), "sparse index " << flat << " out of range");
+  idx_.push_back(flat);
+  val_.push_back(v);
+  finalized_ = false;
+}
+
+void SparseTensor::finalize() {
+  if (finalized_) return;
+  std::vector<std::size_t> order(idx_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return idx_[a] < idx_[b]; });
+
+  std::vector<index_t> new_idx;
+  std::vector<real_t> new_val;
+  new_idx.reserve(idx_.size());
+  new_val.reserve(val_.size());
+  for (std::size_t o : order) {
+    if (!new_idx.empty() && new_idx.back() == idx_[o]) {
+      new_val.back() += val_[o];
+    } else {
+      new_idx.push_back(idx_[o]);
+      new_val.push_back(val_[o]);
+    }
+  }
+  // Drop entries that cancelled to exactly zero.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < new_idx.size(); ++r) {
+    if (new_val[r] == 0.0) continue;
+    new_idx[w] = new_idx[r];
+    new_val[w] = new_val[r];
+    ++w;
+  }
+  new_idx.resize(w);
+  new_val.resize(w);
+  idx_ = std::move(new_idx);
+  val_ = std::move(new_val);
+  finalized_ = true;
+}
+
+index_t SparseTensor::size() const {
+  index_t n = 1;
+  for (index_t d : shape_) n *= d;
+  return n;
+}
+
+double SparseTensor::density() const {
+  const index_t n = size();
+  return n == 0 ? 0.0 : static_cast<double>(nnz()) / static_cast<double>(n);
+}
+
+bool SparseTensor::contains(index_t flat) const {
+  TT_CHECK(finalized_, "contains requires a finalized sparse tensor");
+  return std::binary_search(idx_.begin(), idx_.end(), flat);
+}
+
+real_t SparseTensor::value_at(index_t flat) const {
+  TT_CHECK(finalized_, "value_at requires a finalized sparse tensor");
+  auto it = std::lower_bound(idx_.begin(), idx_.end(), flat);
+  if (it == idx_.end() || *it != flat) return 0.0;
+  return val_[static_cast<std::size_t>(it - idx_.begin())];
+}
+
+real_t SparseTensor::norm2() const {
+  real_t s = 0.0;
+  for (real_t v : val_) s += v * v;
+  return std::sqrt(s);
+}
+
+std::vector<index_t> SparseTensor::strides() const {
+  std::vector<index_t> s(shape_.size(), 1);
+  for (int i = static_cast<int>(shape_.size()) - 2; i >= 0; --i)
+    s[static_cast<std::size_t>(i)] =
+        s[static_cast<std::size_t>(i + 1)] * shape_[static_cast<std::size_t>(i + 1)];
+  return s;
+}
+
+}  // namespace tt::tensor

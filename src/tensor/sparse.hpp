@@ -1,0 +1,65 @@
+// Sparse tensor in sorted-coordinate (flat index) format.
+//
+// Stand-in for Cyclops sparse tensors: stores only nonzeros, supports
+// sparse×sparse and sparse×dense contraction (einsum.hpp) with optional
+// precomputed output sparsity masks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/types.hpp"
+#include "tensor/dense.hpp"
+
+namespace tt::tensor {
+
+/// Order-N sparse tensor: sorted flat indices (row-major convention matching
+/// DenseTensor) with parallel value array.
+class SparseTensor {
+ public:
+  SparseTensor() = default;
+  explicit SparseTensor(std::vector<index_t> shape);
+
+  /// Gather nonzeros (|v| > tol) of a dense tensor.
+  static SparseTensor from_dense(const DenseTensor& d, real_t tol = 0.0);
+
+  DenseTensor to_dense() const;
+
+  /// Append an entry; call finalize() before reading. Duplicate flats are
+  /// summed by finalize().
+  void add(index_t flat, real_t v);
+
+  /// Sort by flat index, merge duplicates, drop exact zeros.
+  void finalize();
+
+  int order() const { return static_cast<int>(shape_.size()); }
+  index_t dim(int mode) const { return shape_[static_cast<std::size_t>(mode)]; }
+  const std::vector<index_t>& shape() const { return shape_; }
+
+  /// Total logical element count (product of dims).
+  index_t size() const;
+  index_t nnz() const { return static_cast<index_t>(idx_.size()); }
+  double density() const;
+
+  std::span<const index_t> indices() const { return idx_; }
+  std::span<const real_t> values() const { return val_; }
+
+  /// True if `flat` is among the stored indices (requires finalized tensor).
+  bool contains(index_t flat) const;
+
+  /// Value at `flat` (0 when absent; requires finalized tensor).
+  real_t value_at(index_t flat) const;
+
+  real_t norm2() const;
+
+  /// Row-major strides of the logical shape.
+  std::vector<index_t> strides() const;
+
+ private:
+  std::vector<index_t> shape_;
+  std::vector<index_t> idx_;
+  std::vector<real_t> val_;
+  bool finalized_ = true;  // empty tensor counts as finalized
+};
+
+}  // namespace tt::tensor

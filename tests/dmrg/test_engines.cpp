@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "dmrg/dmrg.hpp"
+#include "dmrg/engine.hpp"
+#include "models/heisenberg.hpp"
+#include "models/hubbard.hpp"
+#include "models/electron.hpp"
+#include "models/lattice.hpp"
+#include "models/spin_half.hpp"
+#include "mps/mps.hpp"
+
+namespace {
+
+using tt::Rng;
+using tt::dmrg::EngineKind;
+using tt::dmrg::Role;
+using tt::rt::Category;
+using tt::symm::BlockTensor;
+using tt::symm::QN;
+
+const EngineKind kAllEngines[] = {EngineKind::kReference, EngineKind::kList,
+                                  EngineKind::kSparseDense, EngineKind::kSparseSparse};
+
+tt::rt::Cluster test_cluster() { return {tt::rt::blue_waters(), 4, 16}; }
+
+// Random MPS-shaped operands for engine contraction equivalence.
+struct Operands {
+  BlockTensor a, b;
+  Operands() {
+    Rng rng(11);
+    auto sites = tt::models::spin_half_sites(8);
+    auto psi = tt::mps::Mps::random(sites, QN(0), 12, rng);
+    a = psi.site(3);
+    b = psi.site(4);
+  }
+};
+
+class EngineParam : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(EngineParam, ContractionMatchesReference) {
+  Operands ops;
+  auto ref = tt::dmrg::make_engine(EngineKind::kReference, test_cluster());
+  auto eng = tt::dmrg::make_engine(GetParam(), test_cluster());
+  BlockTensor want = ref->contract(ops.a, Role::kOperator, ops.b, Role::kOperator,
+                                   {{2, 0}});
+  for (auto ra : {Role::kOperator, Role::kIntermediate})
+    for (auto rb : {Role::kOperator, Role::kIntermediate}) {
+      BlockTensor got = eng->contract(ops.a, ra, ops.b, rb, {{2, 0}});
+      EXPECT_LT(tt::symm::max_abs_diff(got, want), 1e-10 * (1.0 + want.norm2()))
+          << tt::dmrg::engine_name(GetParam());
+    }
+}
+
+TEST_P(EngineParam, SvdMatchesReferenceSingularValues) {
+  Operands ops;
+  BlockTensor theta = tt::symm::contract(ops.a, ops.b, {{2, 0}});
+  auto ref = tt::dmrg::make_engine(EngineKind::kReference, test_cluster());
+  auto eng = tt::dmrg::make_engine(GetParam(), test_cluster());
+  tt::symm::TruncParams trunc;
+  trunc.max_dim = 8;
+  auto f1 = ref->svd(theta, {0, 1}, trunc);
+  auto f2 = eng->svd(theta, {0, 1}, trunc);
+  EXPECT_EQ(f1.kept, f2.kept);
+  EXPECT_NEAR(f1.truncation_error, f2.truncation_error, 1e-12);
+}
+
+TEST_P(EngineParam, ChargesFlops) {
+  Operands ops;
+  auto eng = tt::dmrg::make_engine(GetParam(), test_cluster());
+  eng->contract(ops.a, Role::kOperator, ops.b, Role::kOperator, {{2, 0}});
+  EXPECT_GT(eng->tracker().flops(), 0.0);
+  EXPECT_GT(eng->tracker().time(Category::kGemm), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, EngineParam, ::testing::ValuesIn(kAllEngines),
+                         [](const auto& info) {
+                           std::string name = tt::dmrg::engine_name(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(Engines, SuperstepAccountingMatchesTableII) {
+  // Table II: list pays O(Nb) supersteps per contraction, fused formats O(1).
+  Operands ops;
+  auto list = tt::dmrg::make_engine(EngineKind::kList, test_cluster());
+  auto ss = tt::dmrg::make_engine(EngineKind::kSparseSparse, test_cluster());
+  list->contract(ops.a, Role::kOperator, ops.b, Role::kOperator, {{2, 0}});
+  ss->contract(ops.a, Role::kOperator, ops.b, Role::kOperator, {{2, 0}});
+  EXPECT_GT(list->tracker().supersteps(), ss->tracker().supersteps());
+  EXPECT_DOUBLE_EQ(ss->tracker().supersteps(), 1.0);
+}
+
+TEST(Engines, ReferenceHasNoCommunication) {
+  Operands ops;
+  auto ref = tt::dmrg::make_engine(EngineKind::kReference, test_cluster());
+  ref->contract(ops.a, Role::kOperator, ops.b, Role::kOperator, {{2, 0}});
+  tt::symm::TruncParams trunc;
+  BlockTensor theta = tt::symm::contract(ops.a, ops.b, {{2, 0}});
+  ref->svd(theta, {0, 1}, trunc);
+  EXPECT_DOUBLE_EQ(ref->tracker().time(Category::kComm), 0.0);
+  EXPECT_DOUBLE_EQ(ref->tracker().words(), 0.0);
+}
+
+TEST(Engines, FusedSvdChargesRedistribution) {
+  // Sparse engines must pay the block-extraction round trip around the SVD
+  // (paper §IV-A); list/reference must not.
+  Operands ops;
+  BlockTensor theta = tt::symm::contract(ops.a, ops.b, {{2, 0}});
+  tt::symm::TruncParams trunc;
+
+  auto list = tt::dmrg::make_engine(EngineKind::kList, test_cluster());
+  auto sd = tt::dmrg::make_engine(EngineKind::kSparseDense, test_cluster());
+  list->svd(theta, {0, 1}, trunc);
+  sd->svd(theta, {0, 1}, trunc);
+  EXPECT_DOUBLE_EQ(list->tracker().time(Category::kComm), 0.0);
+  EXPECT_GT(sd->tracker().time(Category::kComm), 0.0);
+}
+
+TEST(Engines, NameRoundTrip) {
+  for (EngineKind k : kAllEngines) {
+    auto eng = tt::dmrg::make_engine(k, test_cluster());
+    EXPECT_EQ(eng->kind(), k);
+    EXPECT_EQ(eng->name(), tt::dmrg::engine_name(k));
+  }
+}
+
+TEST(Engines, FullSweepEquivalenceAcrossEngines) {
+  // The headline invariant (paper §III: "We compute DMRG in the same way as
+  // the best sequential approach"): every engine produces the same sweep
+  // energies on the same problem.
+  auto lat = tt::models::square_cylinder(3, 2, true);
+  auto sites = tt::models::spin_half_sites(lat.num_sites);
+  auto h = tt::models::heisenberg_mpo(sites, lat, 1.0, 0.5);
+  std::vector<int> neel;
+  for (int i = 0; i < lat.num_sites; ++i) neel.push_back(i % 2);
+
+  tt::dmrg::SweepParams params;
+  params.max_m = 16;
+  params.davidson_iter = 3;
+
+  std::vector<double> energies;
+  for (EngineKind k : kAllEngines) {
+    auto psi = tt::mps::Mps::product_state(sites, neel);
+    tt::dmrg::Dmrg solver(psi, h, tt::dmrg::make_engine(k, test_cluster()));
+    auto rec1 = solver.sweep(params);
+    auto rec2 = solver.sweep(params);
+    energies.push_back(rec2.energy);
+    EXPECT_LE(rec2.energy, rec1.energy + 1e-9) << tt::dmrg::engine_name(k);
+  }
+  for (std::size_t i = 1; i < energies.size(); ++i)
+    EXPECT_NEAR(energies[i], energies[0], 1e-8)
+        << "engine " << tt::dmrg::engine_name(kAllEngines[i]);
+}
+
+TEST(Engines, ElectronSweepEquivalence) {
+  // Same invariant on the d = 4, two-charge system (much finer blocks).
+  auto lat = tt::models::chain(4);
+  auto sites = tt::models::electron_sites(4);
+  auto h = tt::models::hubbard_mpo(sites, lat, 1.0, 8.5);
+  std::vector<int> half{1, 2, 1, 2};
+
+  tt::dmrg::SweepParams params;
+  params.max_m = 24;
+  params.davidson_iter = 3;
+
+  std::vector<double> energies;
+  for (EngineKind k : kAllEngines) {
+    auto psi = tt::mps::Mps::product_state(sites, half);
+    tt::dmrg::Dmrg solver(psi, h, tt::dmrg::make_engine(k, test_cluster()));
+    solver.sweep(params);
+    energies.push_back(solver.sweep(params).energy);
+  }
+  for (std::size_t i = 1; i < energies.size(); ++i)
+    EXPECT_NEAR(energies[i], energies[0], 1e-8)
+        << "engine " << tt::dmrg::engine_name(kAllEngines[i]);
+}
+
+}  // namespace

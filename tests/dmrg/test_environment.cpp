@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "dmrg/engine.hpp"
+#include "dmrg/environment.hpp"
+#include "models/heisenberg.hpp"
+#include "models/lattice.hpp"
+#include "models/spin_half.hpp"
+#include "mps/measure.hpp"
+#include "mps/mps.hpp"
+
+namespace {
+
+using tt::Rng;
+using tt::dmrg::EnvironmentStack;
+using tt::symm::BlockTensor;
+using tt::symm::Dir;
+using tt::symm::QN;
+
+struct Fixture {
+  tt::mps::SiteSetPtr sites = tt::models::spin_half_sites(6);
+  tt::models::Lattice lat = tt::models::chain(6);
+  tt::mps::Mpo h = tt::models::heisenberg_mpo(sites, lat, 1.0);
+  tt::mps::Mps psi;
+  std::unique_ptr<tt::dmrg::ContractionEngine> eng =
+      tt::dmrg::make_engine(tt::dmrg::EngineKind::kReference, {tt::rt::localhost(), 1, 1});
+
+  Fixture() {
+    Rng rng(7);
+    psi = tt::mps::Mps::random(sites, QN(0), 8, rng);
+    psi.canonicalize(0);
+  }
+};
+
+TEST(Environment, BoundaryConventions) {
+  BlockTensor l = tt::dmrg::left_boundary(1);
+  EXPECT_EQ(l.index(0).dir(), Dir::In);
+  EXPECT_EQ(l.index(1).dir(), Dir::Out);
+  EXPECT_EQ(l.index(2).dir(), Dir::Out);
+  BlockTensor r = tt::dmrg::right_boundary(QN(4));
+  EXPECT_EQ(r.index(0).dir(), Dir::Out);
+  EXPECT_EQ(r.index(0).sector(0).qn, QN(4));
+  EXPECT_EQ(r.index(2).sector(0).qn, QN(4));
+}
+
+TEST(Environment, FullLeftContractionGivesExpectation) {
+  Fixture f;
+  // Extending the left environment across the whole chain and closing with
+  // the right boundary reproduces ⟨ψ|H|ψ⟩.
+  BlockTensor e = tt::dmrg::left_boundary(1);
+  for (int j = 0; j < 6; ++j)
+    e = tt::dmrg::extend_left(*f.eng, e, f.psi.site(j), f.h.site(j));
+  BlockTensor closed =
+      tt::symm::contract(e, tt::dmrg::right_boundary(QN(0)), {{0, 0}, {1, 1}, {2, 2}});
+  double val = 0.0;
+  for (const auto& [key, blk] : closed.blocks()) val += blk[0];
+  EXPECT_NEAR(val, tt::mps::expectation(f.psi, f.h), 1e-9);
+}
+
+TEST(Environment, LeftRightMeetAnywhere) {
+  Fixture f;
+  const double want = tt::mps::expectation(f.psi, f.h);
+  EnvironmentStack envs(*f.eng, f.psi, f.h);
+  // For any cut j: L(j) ⋅ site_j ⋅ W_j ⋅ R(j+1) closes to ⟨H⟩.
+  for (int j = 0; j < 6; ++j) {
+    BlockTensor l = envs.left(j);
+    l = tt::dmrg::extend_left(*f.eng, l, f.psi.site(j), f.h.site(j));
+    BlockTensor closed =
+        tt::symm::contract(l, envs.right(j + 1), {{0, 0}, {1, 1}, {2, 2}});
+    double val = 0.0;
+    for (const auto& [key, blk] : closed.blocks()) val += blk[0];
+    EXPECT_NEAR(val, want, 1e-9) << "cut after site " << j;
+  }
+}
+
+TEST(Environment, CanonicalFormMakesLeftEnvironmentIdentityFree) {
+  // For a left-canonical prefix and the identity MPO-free overlap, the
+  // environment would be the identity (paper fig 1c). Here, probe the
+  // normalization: ⟨ψ|ψ⟩ through environments with H replaced by an
+  // identity-like MPO is exactly the overlap; cheaper: check the two-site
+  // effective matvec reproduces the energy quadratic form.
+  Fixture f;
+  f.psi.canonicalize(2);
+  EnvironmentStack envs(*f.eng, f.psi, f.h);
+  BlockTensor theta = tt::symm::contract(f.psi.site(2), f.psi.site(3), {{2, 0}});
+  BlockTensor htheta = tt::dmrg::apply_two_site(*f.eng, envs.left(2), f.h.site(2),
+                                                f.h.site(3), envs.right(4), theta);
+  const double e = tt::symm::dot(theta, htheta) / tt::symm::dot(theta, theta);
+  EXPECT_NEAR(e, tt::mps::expectation(f.psi, f.h), 1e-9);
+}
+
+TEST(Environment, MatvecIsSymmetric) {
+  Fixture f;
+  f.psi.canonicalize(1);
+  EnvironmentStack envs(*f.eng, f.psi, f.h);
+  Rng rng(9);
+  BlockTensor theta = tt::symm::contract(f.psi.site(1), f.psi.site(2), {{2, 0}});
+  BlockTensor x = BlockTensor::random(theta.indices(), theta.flux(), rng);
+  BlockTensor y = BlockTensor::random(theta.indices(), theta.flux(), rng);
+  auto apply = [&](const BlockTensor& t) {
+    return tt::dmrg::apply_two_site(*f.eng, envs.left(1), f.h.site(1), f.h.site(2),
+                                    envs.right(3), t);
+  };
+  // ⟨y|H|x⟩ = ⟨x|H|y⟩ for a symmetric H_eff.
+  EXPECT_NEAR(tt::symm::dot(y, apply(x)), tt::symm::dot(x, apply(y)),
+              1e-9 * (1.0 + std::abs(tt::symm::dot(x, apply(y)))));
+}
+
+TEST(Environment, UpdateMatchesRebuild) {
+  Fixture f;
+  EnvironmentStack envs(*f.eng, f.psi, f.h);
+  envs.update_left(0, f.psi, f.h);
+  envs.update_left(1, f.psi, f.h);
+  BlockTensor direct = tt::dmrg::left_boundary(1);
+  direct = tt::dmrg::extend_left(*f.eng, direct, f.psi.site(0), f.h.site(0));
+  direct = tt::dmrg::extend_left(*f.eng, direct, f.psi.site(1), f.h.site(1));
+  EXPECT_LT(tt::symm::max_abs_diff(envs.left(2), direct), 1e-12);
+}
+
+TEST(Environment, StackRangeChecks) {
+  Fixture f;
+  EnvironmentStack envs(*f.eng, f.psi, f.h);
+  EXPECT_THROW(envs.left(-1), tt::Error);
+  EXPECT_THROW(envs.right(8), tt::Error);
+  EXPECT_NO_THROW(envs.left(6));
+  EXPECT_NO_THROW(envs.right(6));
+}
+
+}  // namespace

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "ed/basis.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using tt::ed::ElectronBasis;
+using tt::ed::SpinBasis;
+
+TEST(Masks, PopcountEnumeration) {
+  auto m = tt::ed::masks_with_popcount(4, 2);
+  EXPECT_EQ(m.size(), 6u);
+  for (auto v : m) EXPECT_EQ(std::popcount(v), 2);
+  // Ascending and unique.
+  for (std::size_t i = 0; i + 1 < m.size(); ++i) EXPECT_LT(m[i], m[i + 1]);
+}
+
+TEST(Masks, EdgeCases) {
+  EXPECT_EQ(tt::ed::masks_with_popcount(3, 0).size(), 1u);
+  EXPECT_EQ(tt::ed::masks_with_popcount(3, 3).size(), 1u);
+  EXPECT_THROW(tt::ed::masks_with_popcount(3, 4), tt::Error);
+}
+
+TEST(SpinBasis, DimensionMatchesBinomial) {
+  SpinBasis b(8, 0);  // Sz = 0: C(8,4) = 70
+  EXPECT_EQ(b.dim(), 70);
+  SpinBasis b2(6, 2);  // #up = 4: C(6,4) = 15
+  EXPECT_EQ(b2.dim(), 15);
+}
+
+TEST(SpinBasis, IndexRoundTrip) {
+  SpinBasis b(6, 0);
+  for (tt::index_t i = 0; i < b.dim(); ++i)
+    EXPECT_EQ(b.index_of(b.state(i)), i);
+}
+
+TEST(SpinBasis, RejectsUnreachableSector) {
+  EXPECT_THROW(SpinBasis(4, 1), tt::Error);   // odd 2Sz for even N
+  EXPECT_THROW(SpinBasis(4, 6), tt::Error);   // beyond max
+}
+
+TEST(SpinBasis, LookupRejectsOutsideSector) {
+  SpinBasis b(4, 0);
+  EXPECT_THROW(b.index_of(0b1110), tt::Error);
+}
+
+TEST(ElectronBasis, DimensionIsProductOfBinomials) {
+  ElectronBasis b(4, 2, 2);  // C(4,2)² = 36
+  EXPECT_EQ(b.dim(), 36);
+  ElectronBasis b2(4, 0, 4);  // C(4,0)*C(4,4) = 1
+  EXPECT_EQ(b2.dim(), 1);
+}
+
+TEST(ElectronBasis, IndexRoundTrip) {
+  ElectronBasis b(4, 2, 1);
+  for (tt::index_t i = 0; i < b.dim(); ++i)
+    EXPECT_EQ(b.index_of(b.up(i), b.dn(i)), i);
+}
+
+TEST(ElectronBasis, LookupRejectsOutsideSector) {
+  ElectronBasis b(4, 2, 2);
+  EXPECT_THROW(b.index_of(0b0001, 0b0011), tt::Error);  // wrong N_up
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ed/ed.hpp"
+#include "models/lattice.hpp"
+
+namespace {
+
+TEST(EdHeisenberg, TwoSiteSinglet) {
+  // E0 of two coupled spins (J = 1) is the singlet: −3/4.
+  auto lat = tt::models::chain(2);
+  EXPECT_NEAR(tt::ed::heisenberg_ground_energy(lat, 1.0, 0.0, 0), -0.75, 1e-10);
+}
+
+TEST(EdHeisenberg, ThreeSiteChain) {
+  // Open 3-site chain, Sz = ±1/2: E0 = −1 (exact).
+  auto lat = tt::models::chain(3);
+  EXPECT_NEAR(tt::ed::heisenberg_ground_energy(lat, 1.0, 0.0, 1), -1.0, 1e-10);
+}
+
+TEST(EdHeisenberg, FourSiteChainExact) {
+  // Open 4-site chain: E0 = (1 − √3)/2 − 3/4... use the known value
+  // E0 = −(3/2 + √3)/2 + 1/4? — instead pin against the published numeric
+  // value E0/J = −1.6160254 (= −(2√3 + 3)/4 ... ) obtained from independent
+  // diagonalization of the 6-dim Sz=0 sector.
+  auto lat = tt::models::chain(4);
+  const double e = tt::ed::heisenberg_ground_energy(lat, 1.0, 0.0, 0);
+  // Exact: E0 = −(3 + 2√3)/4.
+  EXPECT_NEAR(e, -(3.0 + 2.0 * std::sqrt(3.0)) / 4.0, 1e-9);
+}
+
+TEST(EdHeisenberg, GroundStateInZeroSectorForEvenChain) {
+  auto lat = tt::models::chain(6);
+  const double e0 = tt::ed::heisenberg_ground_energy(lat, 1.0, 0.0, 0);
+  const double e2 = tt::ed::heisenberg_ground_energy(lat, 1.0, 0.0, 2);
+  EXPECT_LT(e0, e2);
+}
+
+TEST(EdHeisenberg, FerromagneticCouplingFlipsOrdering) {
+  // J < 0: fully polarized sector is degenerate with the ground state.
+  auto lat = tt::models::chain(4);
+  const double e_pol = tt::ed::heisenberg_ground_energy(lat, -1.0, 0.0, 4);
+  const double e_zero = tt::ed::heisenberg_ground_energy(lat, -1.0, 0.0, 0);
+  EXPECT_NEAR(e_pol, -0.75, 1e-10);  // 3 bonds × (−1)·(1/4)... = −3/4
+  EXPECT_NEAR(e_zero, e_pol, 1e-9);  // SU(2): same multiplet
+}
+
+TEST(EdHeisenberg, J2CouplingChangesEnergy) {
+  auto lat = tt::models::square_cylinder(3, 2, true);
+  const double e_j1 = tt::ed::heisenberg_ground_energy(lat, 1.0, 0.0, 0);
+  const double e_j1j2 = tt::ed::heisenberg_ground_energy(lat, 1.0, 0.5, 0);
+  EXPECT_NE(e_j1, e_j1j2);
+}
+
+TEST(EdHubbard, TwoSiteAnalytic) {
+  // Half-filled 2-site Hubbard: E0 = (U − √(U² + 16t²))/2.
+  auto lat = tt::models::chain(2);
+  for (double u : {0.0, 1.0, 4.0, 8.5}) {
+    const double want = 0.5 * (u - std::sqrt(u * u + 16.0));
+    EXPECT_NEAR(tt::ed::hubbard_ground_energy(lat, 1.0, u, 1, 1), want, 1e-9)
+        << "U = " << u;
+  }
+}
+
+TEST(EdHubbard, AtomicLimit) {
+  // t = 0: energy = U × (#doubly occupied) minimized to 0 at half filling.
+  auto lat = tt::models::chain(3);
+  EXPECT_NEAR(tt::ed::hubbard_ground_energy(lat, 0.0, 5.0, 1, 1), 0.0, 1e-10);
+  // 4 electrons on 3 sites: at least one doublon.
+  EXPECT_NEAR(tt::ed::hubbard_ground_energy(lat, 0.0, 5.0, 2, 2), 5.0, 1e-10);
+}
+
+TEST(EdHubbard, FreeFermionBandEnergy) {
+  // U = 0, open chain: single-particle levels ε_k = −2t·cos(kπ/(N+1)).
+  const int n = 4;
+  auto lat = tt::models::chain(n);
+  auto eps = [&](int k) { return -2.0 * std::cos(M_PI * k / (n + 1.0)); };
+  // One up + one dn electron: both occupy the lowest level.
+  EXPECT_NEAR(tt::ed::hubbard_ground_energy(lat, 1.0, 0.0, 1, 1), 2.0 * eps(1), 1e-9);
+  // Two up electrons (Pauli): lowest two levels.
+  EXPECT_NEAR(tt::ed::hubbard_ground_energy(lat, 1.0, 0.0, 2, 0), eps(1) + eps(2),
+              1e-9);
+}
+
+TEST(EdHubbard, ParticleHoleSymmetricPoint) {
+  // Bipartite chain at half filling: spectrum symmetric; energy below atomic.
+  auto lat = tt::models::chain(4);
+  const double e = tt::ed::hubbard_ground_energy(lat, 1.0, 8.0, 2, 2);
+  EXPECT_LT(e, 0.0);
+  EXPECT_GT(e, -8.0);
+}
+
+TEST(EdHubbard, TriangularFrustrationRaisesEnergy) {
+  // Triangular 2x2 (with diagonals) is more frustrated than square 2x2 at
+  // the same filling; the hopping gain shrinks.
+  auto sq = tt::models::square_cylinder(2, 2, false);
+  auto tr = tt::models::triangular_cylinder(2, 2);
+  const double e_sq = tt::ed::hubbard_ground_energy(sq, 1.0, 8.5, 2, 2);
+  const double e_tr = tt::ed::hubbard_ground_energy(tr, 1.0, 8.5, 2, 2);
+  EXPECT_LT(e_sq, 0.0);
+  EXPECT_GE(e_tr, e_sq - 1e-9);
+}
+
+TEST(EdApply, HeisenbergHermitian) {
+  auto lat = tt::models::chain(4);
+  tt::ed::SpinBasis basis(4, 0);
+  const auto dim = basis.dim();
+  // ⟨i|H|j⟩ == ⟨j|H|i⟩ by applying to unit vectors.
+  std::vector<std::vector<double>> cols;
+  for (tt::index_t j = 0; j < dim; ++j) {
+    std::vector<double> x(static_cast<std::size_t>(dim), 0.0), y;
+    x[static_cast<std::size_t>(j)] = 1.0;
+    tt::ed::apply_heisenberg(lat, 1.0, 0.3, basis, x, y);
+    cols.push_back(y);
+  }
+  for (tt::index_t i = 0; i < dim; ++i)
+    for (tt::index_t j = 0; j < dim; ++j)
+      EXPECT_NEAR(cols[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)],
+                  cols[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1e-12);
+}
+
+TEST(EdApply, HubbardHermitian) {
+  auto lat = tt::models::triangular_cylinder(2, 2);
+  tt::ed::ElectronBasis basis(4, 2, 1);
+  const auto dim = basis.dim();
+  std::vector<std::vector<double>> cols;
+  for (tt::index_t j = 0; j < dim; ++j) {
+    std::vector<double> x(static_cast<std::size_t>(dim), 0.0), y;
+    x[static_cast<std::size_t>(j)] = 1.0;
+    tt::ed::apply_hubbard(lat, 1.0, 8.5, basis, x, y);
+    cols.push_back(y);
+  }
+  for (tt::index_t i = 0; i < dim; ++i)
+    for (tt::index_t j = 0; j < dim; ++j)
+      EXPECT_NEAR(cols[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)],
+                  cols[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1e-12);
+}
+
+}  // namespace

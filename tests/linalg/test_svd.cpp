@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "linalg/eigen.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/svd.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using tt::Rng;
+using tt::index_t;
+using tt::linalg::Matrix;
+
+class SvdParam : public ::testing::TestWithParam<std::pair<index_t, index_t>> {};
+
+TEST_P(SvdParam, ReconstructsInput) {
+  auto [m, n] = GetParam();
+  Rng rng(m * 101 + n);
+  Matrix a = Matrix::random(m, n, rng);
+  auto f = tt::linalg::svd(a);
+  EXPECT_LT(tt::linalg::max_abs_diff(f.reconstruct(), a), 1e-9 * (1.0 + a.max_abs()));
+}
+
+TEST_P(SvdParam, FactorsOrthonormal) {
+  auto [m, n] = GetParam();
+  Rng rng(m * 103 + n);
+  Matrix a = Matrix::random(m, n, rng);
+  auto f = tt::linalg::svd(a);
+  Matrix utu = tt::linalg::matmul(true, false, f.u, f.u);
+  Matrix vvt = tt::linalg::matmul(false, true, f.vt, f.vt);
+  EXPECT_LT(tt::linalg::max_abs_diff(utu, Matrix::identity(utu.rows())), 1e-10);
+  EXPECT_LT(tt::linalg::max_abs_diff(vvt, Matrix::identity(vvt.rows())), 1e-10);
+}
+
+TEST_P(SvdParam, SingularValuesSortedNonNegative) {
+  auto [m, n] = GetParam();
+  Rng rng(m * 107 + n);
+  Matrix a = Matrix::random(m, n, rng);
+  auto f = tt::linalg::svd(a);
+  EXPECT_EQ(static_cast<index_t>(f.s.size()), std::min(m, n));
+  for (std::size_t i = 0; i + 1 < f.s.size(); ++i) EXPECT_GE(f.s[i], f.s[i + 1]);
+  for (double s : f.s) EXPECT_GE(s, 0.0);
+}
+
+TEST_P(SvdParam, MatchesEigenvaluesOfGramMatrix) {
+  auto [m, n] = GetParam();
+  if (m * n > 64 * 64) GTEST_SKIP() << "gram oracle only for small shapes";
+  Rng rng(m * 109 + n);
+  Matrix a = Matrix::random(m, n, rng);
+  auto f = tt::linalg::svd(a);
+  Matrix gram = tt::linalg::matmul(true, false, a, a);  // n×n
+  auto e = tt::linalg::eigh(gram);
+  // eigh ascending; singular values descending.
+  const index_t r = std::min(m, n);
+  for (index_t i = 0; i < r; ++i) {
+    const double lambda = e.values[static_cast<std::size_t>(n - 1 - i)];
+    EXPECT_NEAR(f.s[static_cast<std::size_t>(i)], std::sqrt(std::max(0.0, lambda)),
+                1e-8 * (1.0 + std::abs(lambda)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdParam,
+                         ::testing::Values(std::make_pair<index_t, index_t>(1, 1),
+                                           std::make_pair<index_t, index_t>(4, 4),
+                                           std::make_pair<index_t, index_t>(16, 16),
+                                           std::make_pair<index_t, index_t>(40, 12),
+                                           std::make_pair<index_t, index_t>(12, 40),
+                                           std::make_pair<index_t, index_t>(100, 100),
+                                           std::make_pair<index_t, index_t>(200, 50),
+                                           std::make_pair<index_t, index_t>(50, 200),
+                                           std::make_pair<index_t, index_t>(1, 60),
+                                           std::make_pair<index_t, index_t>(60, 1)));
+
+TEST(Svd, ExactRankDeficiency) {
+  Rng rng(3);
+  Matrix x = Matrix::random(20, 3, rng);
+  Matrix y = Matrix::random(3, 15, rng);
+  Matrix a = tt::linalg::matmul(x, y);  // rank 3
+  auto f = tt::linalg::svd(a);
+  for (std::size_t i = 3; i < f.s.size(); ++i) EXPECT_LT(f.s[i], 1e-9);
+  // U must stay orthonormal even in the null space (completion path).
+  Matrix utu = tt::linalg::matmul(true, false, f.u, f.u);
+  EXPECT_LT(tt::linalg::max_abs_diff(utu, Matrix::identity(15)), 1e-8);
+  EXPECT_LT(tt::linalg::max_abs_diff(f.reconstruct(), a), 1e-9);
+}
+
+TEST(Svd, ZeroMatrix) {
+  Matrix a(8, 5, 0.0);
+  auto f = tt::linalg::svd(a);
+  for (double s : f.s) EXPECT_DOUBLE_EQ(s, 0.0);
+  Matrix utu = tt::linalg::matmul(true, false, f.u, f.u);
+  EXPECT_LT(tt::linalg::max_abs_diff(utu, Matrix::identity(5)), 1e-8);
+}
+
+TEST(Svd, DiagonalMatrixExact) {
+  Matrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 7.0;
+  a(2, 2) = 1.0;
+  auto f = tt::linalg::svd(a);
+  EXPECT_NEAR(f.s[0], 7.0, 1e-12);
+  EXPECT_NEAR(f.s[1], 3.0, 1e-12);
+  EXPECT_NEAR(f.s[2], 1.0, 1e-12);
+}
+
+TEST(Svd, EmptyMatrix) {
+  Matrix a(0, 4);
+  auto f = tt::linalg::svd(a);
+  EXPECT_TRUE(f.s.empty());
+  EXPECT_EQ(f.u.rows(), 0);
+  EXPECT_EQ(f.vt.cols(), 4);
+}
+
+TEST(Svd, HugeDynamicRange) {
+  // Singular values spanning 12 orders of magnitude survive one-sided Jacobi.
+  Matrix a(3, 3);
+  a(0, 0) = 1e6;
+  a(1, 1) = 1.0;
+  a(2, 2) = 1e-6;
+  auto f = tt::linalg::svd(a);
+  EXPECT_NEAR(f.s[0], 1e6, 1e-4);
+  EXPECT_NEAR(f.s[1], 1.0, 1e-10);
+  EXPECT_NEAR(f.s[2], 1e-6, 1e-14);
+}
+
+TEST(SvdRank, CutoffAndCap) {
+  std::vector<double> s{1.0, 0.5, 1e-3, 1e-13, 0.0};
+  EXPECT_EQ(tt::linalg::svd_rank(s, 1e-12, 100), 3);
+  EXPECT_EQ(tt::linalg::svd_rank(s, 1e-12, 2), 2);
+  EXPECT_EQ(tt::linalg::svd_rank(s, 0.0, 100), 4);  // exact zeros dropped
+  EXPECT_EQ(tt::linalg::svd_rank(s, 10.0, 100), 1); // never drops to zero rank
+  EXPECT_EQ(tt::linalg::svd_rank({}, 1e-12, 4), 0);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "models/lattice.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using tt::models::Bond;
+using tt::models::Lattice;
+
+TEST(Lattice, ChainBasics) {
+  Lattice c = tt::models::chain(5);
+  EXPECT_EQ(c.num_sites, 5);
+  EXPECT_EQ(c.bonds.size(), 4u);
+  for (const Bond& b : c.bonds) EXPECT_EQ(b.type, 0);
+  EXPECT_THROW(tt::models::chain(1), tt::Error);
+}
+
+TEST(Lattice, SiteOrderingColumnMajor) {
+  Lattice lat = tt::models::square_cylinder(4, 3, false);
+  EXPECT_EQ(lat.site(0, 0), 0);
+  EXPECT_EQ(lat.site(0, 2), 2);
+  EXPECT_EQ(lat.site(1, 0), 3);
+  EXPECT_EQ(lat.site(3, 2), 11);
+  // Periodic wrap in y.
+  EXPECT_EQ(lat.site(2, 3), lat.site(2, 0));
+  EXPECT_EQ(lat.site(2, -1), lat.site(2, 2));
+}
+
+TEST(Lattice, SquareCylinderBondCount) {
+  // lx*ly vertical (periodic) + (lx-1)*ly horizontal.
+  Lattice lat = tt::models::square_cylinder(4, 3, false);
+  EXPECT_EQ(lat.num_sites, 12);
+  EXPECT_EQ(lat.bonds.size(), static_cast<std::size_t>(4 * 3 + 3 * 3));
+  EXPECT_EQ(lat.num_bonds(1), 0);
+}
+
+TEST(Lattice, J1J2CylinderDiagonalCount) {
+  Lattice lat = tt::models::square_cylinder(4, 3, true);
+  // Diagonals: 2 per (x,y) with x+1 < lx: 2*3*3 = 18.
+  EXPECT_EQ(lat.num_bonds(1), 18);
+  EXPECT_EQ(lat.num_bonds(0), 4 * 3 + 3 * 3);
+}
+
+TEST(Lattice, CircumferenceTwoDoesNotDuplicateBonds) {
+  // With ly = 2, (x,0)-(x,1) and (x,1)-(x,0 mod 2) are the same bond.
+  Lattice lat = tt::models::square_cylinder(3, 2, false);
+  std::set<std::pair<int, int>> seen;
+  for (const Bond& b : lat.bonds) {
+    auto key = std::minmax(b.s1, b.s2);
+    EXPECT_TRUE(seen.insert(key).second)
+        << "duplicate bond " << b.s1 << "-" << b.s2;
+  }
+  EXPECT_EQ(lat.num_bonds(0), 3 * 1 + 2 * 2);  // 3 rungs + 4 legs
+}
+
+TEST(Lattice, TriangularCoordinationIsSix) {
+  // Away from the open edges every site has 6 neighbours.
+  Lattice lat = tt::models::triangular_cylinder(6, 4);
+  std::vector<int> degree(static_cast<std::size_t>(lat.num_sites), 0);
+  for (const Bond& b : lat.bonds) {
+    ++degree[static_cast<std::size_t>(b.s1)];
+    ++degree[static_cast<std::size_t>(b.s2)];
+  }
+  for (int x = 1; x + 1 < lat.length; ++x)
+    for (int y = 0; y < lat.circumference; ++y)
+      EXPECT_EQ(degree[static_cast<std::size_t>(lat.site(x, y))], 6)
+          << "site (" << x << "," << y << ")";
+}
+
+TEST(Lattice, TriangularAllBondsType0) {
+  Lattice lat = tt::models::triangular_cylinder(4, 3);
+  EXPECT_EQ(lat.num_bonds(1), 0);
+  EXPECT_EQ(static_cast<int>(lat.bonds.size()), lat.num_bonds(0));
+}
+
+TEST(Lattice, BondEndpointsInRange) {
+  for (const Lattice& lat :
+       {tt::models::square_cylinder(5, 4, true), tt::models::triangular_cylinder(5, 4),
+        tt::models::chain(9)}) {
+    for (const Bond& b : lat.bonds) {
+      EXPECT_GE(b.s1, 0);
+      EXPECT_LT(b.s1, lat.num_sites);
+      EXPECT_GE(b.s2, 0);
+      EXPECT_LT(b.s2, lat.num_sites);
+      EXPECT_NE(b.s1, b.s2);
+    }
+  }
+}
+
+TEST(Lattice, RenderMentionsShapeAndSites) {
+  Lattice lat = tt::models::square_cylinder(4, 3, true);
+  const std::string art = tt::models::render(lat);
+  EXPECT_NE(art.find("4 columns"), std::string::npos);
+  EXPECT_NE(art.find("12 sites"), std::string::npos);
+  EXPECT_NE(art.find("11"), std::string::npos);  // last site id appears
+}
+
+TEST(Lattice, PaperGeometries) {
+  // The paper's 20x10 J1-J2 cylinder and 6x6 triangular cylinder (XC6).
+  Lattice spins = tt::models::square_cylinder(20, 10, true);
+  EXPECT_EQ(spins.num_sites, 200);
+  Lattice electrons = tt::models::triangular_cylinder(6, 6);
+  EXPECT_EQ(electrons.num_sites, 36);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "models/electron.hpp"
+#include "models/heisenberg.hpp"
+#include "models/hubbard.hpp"
+#include "models/lattice.hpp"
+#include "models/spin_half.hpp"
+#include "mps/io.hpp"
+#include "mps/measure.hpp"
+
+namespace {
+
+using tt::Rng;
+using tt::mps::Mpo;
+using tt::mps::Mps;
+using tt::symm::QN;
+
+TEST(MpsIo, RoundTripPreservesStateExactly) {
+  auto sites = tt::models::spin_half_sites(6);
+  Rng rng(3);
+  Mps psi = Mps::random(sites, QN(0), 10, rng);
+  std::stringstream ss;
+  tt::mps::write_mps(ss, psi);
+  Mps back = tt::mps::read_mps(ss, sites);
+  // Exact (hexfloat) round trip: overlap equals the squared norm to the bit.
+  EXPECT_DOUBLE_EQ(tt::mps::overlap(psi, back), tt::mps::overlap(psi, psi));
+  EXPECT_EQ(back.total_qn(), psi.total_qn());
+  EXPECT_EQ(back.bond_dims(), psi.bond_dims());
+}
+
+TEST(MpsIo, ElectronStateRoundTrip) {
+  auto sites = tt::models::electron_sites(5);
+  Rng rng(4);
+  Mps psi = Mps::random(sites, QN(5, 1), 8, rng);
+  std::stringstream ss;
+  tt::mps::write_mps(ss, psi);
+  Mps back = tt::mps::read_mps(ss, sites);
+  EXPECT_DOUBLE_EQ(tt::mps::overlap(psi, back), tt::mps::overlap(psi, psi));
+}
+
+TEST(MpsIo, RejectsWrongSiteCount) {
+  auto sites = tt::models::spin_half_sites(4);
+  Mps psi = Mps::product_state(sites, {0, 1, 0, 1});
+  std::stringstream ss;
+  tt::mps::write_mps(ss, psi);
+  auto wrong = tt::models::spin_half_sites(6);
+  EXPECT_THROW(tt::mps::read_mps(ss, wrong), tt::Error);
+}
+
+TEST(MpsIo, RejectsWrongSiteType) {
+  auto sites = tt::models::spin_half_sites(4);
+  Mps psi = Mps::product_state(sites, {0, 1, 0, 1});
+  std::stringstream ss;
+  tt::mps::write_mps(ss, psi);
+  auto wrong = tt::models::electron_sites(4);
+  EXPECT_THROW(tt::mps::read_mps(ss, wrong), tt::Error);
+}
+
+TEST(MpsIo, RejectsCorruptStream) {
+  auto sites = tt::models::spin_half_sites(2);
+  std::stringstream ss("GARBAGE 9");
+  EXPECT_THROW(tt::mps::read_mps(ss, sites), tt::Error);
+  std::stringstream truncated("TTMPS 1\n2 1\nTENSOR 3 ");
+  EXPECT_THROW(tt::mps::read_mps(truncated, sites), tt::Error);
+}
+
+TEST(MpoIo, RoundTripPreservesMatrixElements) {
+  auto lat = tt::models::chain(5);
+  auto sites = tt::models::spin_half_sites(5);
+  Mpo h = tt::models::heisenberg_mpo(sites, lat, 1.0);
+  std::stringstream ss;
+  tt::mps::write_mpo(ss, h);
+  Mpo back = tt::mps::read_mpo(ss, sites);
+  EXPECT_EQ(back.bond_dims(), h.bond_dims());
+  // Expectation on a probe state must be identical.
+  Rng rng(5);
+  Mps probe = Mps::random(sites, QN(1), 8, rng);
+  EXPECT_DOUBLE_EQ(tt::mps::expectation(probe, back),
+                   tt::mps::expectation(probe, h));
+}
+
+TEST(MpoIo, HubbardRoundTrip) {
+  auto lat = tt::models::triangular_cylinder(2, 2);
+  auto sites = tt::models::electron_sites(4);
+  Mpo h = tt::models::hubbard_mpo(sites, lat, 1.0, 8.5);
+  std::stringstream ss;
+  tt::mps::write_mpo(ss, h);
+  Mpo back = tt::mps::read_mpo(ss, sites);
+  Mps probe = Mps::product_state(sites, {1, 2, 1, 2});
+  EXPECT_DOUBLE_EQ(tt::mps::expectation(probe, back),
+                   tt::mps::expectation(probe, h));
+}
+
+TEST(MpsIo, FileSaveLoad) {
+  auto sites = tt::models::spin_half_sites(4);
+  Rng rng(6);
+  Mps psi = Mps::random(sites, QN(0), 6, rng);
+  const std::string path = ::testing::TempDir() + "/tt_psi.mps";
+  tt::mps::save_mps(path, psi);
+  Mps back = tt::mps::load_mps(path, sites);
+  EXPECT_DOUBLE_EQ(tt::mps::overlap(psi, back), tt::mps::overlap(psi, psi));
+  EXPECT_THROW(tt::mps::load_mps("/nonexistent/dir/x.mps", sites), tt::Error);
+}
+
+}  // namespace

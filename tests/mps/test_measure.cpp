@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "models/heisenberg.hpp"
+#include "models/hubbard.hpp"
+#include "models/electron.hpp"
+#include "models/lattice.hpp"
+#include "models/spin_half.hpp"
+#include "mps/measure.hpp"
+
+namespace {
+
+using tt::Rng;
+using tt::mps::Mpo;
+using tt::mps::Mps;
+using tt::symm::QN;
+
+TEST(Measure, NeelStateHeisenbergEnergy) {
+  // ⟨Néel|H|Néel⟩ on an open chain = −J/4 per bond (only SzSz contributes).
+  const int n = 6;
+  auto sites = tt::models::spin_half_sites(n);
+  auto lat = tt::models::chain(n);
+  Mpo h = tt::models::heisenberg_mpo(sites, lat, 1.0);
+  Mps neel = Mps::product_state(sites, {0, 1, 0, 1, 0, 1});
+  EXPECT_NEAR(tt::mps::expectation(neel, h), -0.25 * (n - 1), 1e-12);
+}
+
+TEST(Measure, FerromagnetHeisenbergEnergy) {
+  // All-up: +J/4 per bond.
+  const int n = 5;
+  auto sites = tt::models::spin_half_sites(n);
+  auto lat = tt::models::chain(n);
+  Mpo h = tt::models::heisenberg_mpo(sites, lat, 1.0);
+  Mps ferro = Mps::product_state(sites, std::vector<int>(n, 0));
+  EXPECT_NEAR(tt::mps::expectation(ferro, h), 0.25 * (n - 1), 1e-12);
+}
+
+TEST(Measure, HubbardProductStateEnergies) {
+  const int n = 4;
+  auto sites = tt::models::electron_sites(n);
+  auto lat = tt::models::chain(n);
+  Mpo h = tt::models::hubbard_mpo(sites, lat, 1.0, 8.5);
+  // Singly-occupied alternating state: no double occupancy, hopping has zero
+  // diagonal expectation.
+  Mps half = Mps::product_state(sites, {1, 2, 1, 2});
+  EXPECT_NEAR(tt::mps::expectation(half, h), 0.0, 1e-11);
+  // Two doublons: 2U.
+  Mps doublons = Mps::product_state(sites, {3, 0, 3, 0});
+  EXPECT_NEAR(tt::mps::expectation(doublons, h), 2.0 * 8.5, 1e-11);
+}
+
+TEST(Measure, ExpectationScalesWithNormSquared) {
+  auto sites = tt::models::spin_half_sites(6);
+  auto lat = tt::models::chain(6);
+  Mpo h = tt::models::heisenberg_mpo(sites, lat, 1.0);
+  Rng rng(3);
+  Mps psi = Mps::random(sites, QN(0), 8, rng);
+  const double e1 = tt::mps::expectation(psi, h);
+  psi.site(2).scale(2.0);
+  psi.set_center(-1);
+  EXPECT_NEAR(tt::mps::expectation(psi, h), 4.0 * e1, 1e-9 * (1.0 + std::abs(e1)));
+}
+
+TEST(Measure, ExpectationInvariantUnderCanonicalization) {
+  auto sites = tt::models::spin_half_sites(6);
+  auto lat = tt::models::chain(6);
+  Mpo h = tt::models::heisenberg_mpo(sites, lat, 1.0, 0.0);
+  Rng rng(4);
+  Mps psi = Mps::random(sites, QN(0), 8, rng);
+  const double e0 = tt::mps::expectation(psi, h);
+  psi.canonicalize(4);
+  EXPECT_NEAR(tt::mps::expectation(psi, h), e0, 1e-9 * (1.0 + std::abs(e0)));
+}
+
+TEST(Measure, LocalSzOnProductState) {
+  auto sites = tt::models::spin_half_sites(4);
+  Mps psi = Mps::product_state(sites, {0, 1, 0, 1});
+  EXPECT_NEAR(tt::mps::expect_local(psi, "Sz", 0), 0.5, 1e-12);
+  EXPECT_NEAR(tt::mps::expect_local(psi, "Sz", 1), -0.5, 1e-12);
+}
+
+TEST(Measure, LocalDensityOnElectronState) {
+  auto sites = tt::models::electron_sites(3);
+  Mps psi = Mps::product_state(sites, {3, 1, 0});  // |↑↓⟩|↑⟩|0⟩
+  EXPECT_NEAR(tt::mps::expect_local(psi, "Ntot", 0), 2.0, 1e-12);
+  EXPECT_NEAR(tt::mps::expect_local(psi, "Ntot", 1), 1.0, 1e-12);
+  EXPECT_NEAR(tt::mps::expect_local(psi, "Ntot", 2), 0.0, 1e-12);
+  EXPECT_NEAR(tt::mps::expect_local(psi, "Nupdn", 0), 1.0, 1e-12);
+}
+
+TEST(Measure, LocalChargedOperatorRejected) {
+  auto sites = tt::models::spin_half_sites(2);
+  Mps psi = Mps::product_state(sites, {0, 1});
+  EXPECT_THROW(tt::mps::expect_local(psi, "S+", 0), tt::Error);
+}
+
+TEST(Measure, SumOfLocalSzEqualsTotalCharge) {
+  auto sites = tt::models::spin_half_sites(6);
+  Rng rng(5);
+  Mps psi = Mps::random(sites, QN(2), 6, rng);  // 2Sz_tot = 2
+  double total = 0.0;
+  for (int j = 0; j < 6; ++j) total += tt::mps::expect_local(psi, "Sz", j);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/electron.hpp"
+#include "models/spin_half.hpp"
+#include "mps/measure.hpp"
+#include "mps/mps.hpp"
+#include "symm/block_ops.hpp"
+
+namespace {
+
+using tt::Rng;
+using tt::index_t;
+using tt::mps::Mps;
+using tt::symm::BlockTensor;
+using tt::symm::QN;
+
+TEST(MpsProductState, StructureAndNorm) {
+  auto sites = tt::models::spin_half_sites(6);
+  // Néel state ↑↓↑↓↑↓.
+  Mps psi = Mps::product_state(sites, {0, 1, 0, 1, 0, 1});
+  psi.check_consistency();
+  EXPECT_EQ(psi.size(), 6);
+  EXPECT_EQ(psi.max_bond_dim(), 1);
+  EXPECT_EQ(psi.total_qn(), QN(0));
+  EXPECT_NEAR(psi.norm(), 1.0, 1e-14);
+}
+
+TEST(MpsProductState, TotalChargeAccumulates) {
+  auto sites = tt::models::spin_half_sites(4);
+  Mps psi = Mps::product_state(sites, {0, 0, 0, 1});  // ↑↑↑↓: 2Sz = 2
+  EXPECT_EQ(psi.total_qn(), QN(2));
+}
+
+TEST(MpsProductState, ElectronFilling) {
+  auto sites = tt::models::electron_sites(4);
+  // |↑⟩|↓⟩|↑⟩|↓⟩: N = 4, 2Sz = 0.
+  Mps psi = Mps::product_state(sites, {1, 2, 1, 2});
+  EXPECT_EQ(psi.total_qn(), QN(4, 0));
+  psi.check_consistency();
+}
+
+TEST(MpsProductState, OverlapOrthogonality) {
+  auto sites = tt::models::spin_half_sites(4);
+  Mps a = Mps::product_state(sites, {0, 1, 0, 1});
+  Mps b = Mps::product_state(sites, {0, 1, 1, 0});  // same sector, different state
+  EXPECT_NEAR(tt::mps::overlap(a, a), 1.0, 1e-14);
+  EXPECT_NEAR(tt::mps::overlap(a, b), 0.0, 1e-14);
+}
+
+TEST(MpsProductState, CrossSectorOverlapRejected) {
+  auto sites = tt::models::spin_half_sites(2);
+  Mps a = Mps::product_state(sites, {0, 1});
+  Mps b = Mps::product_state(sites, {0, 0});
+  EXPECT_THROW(tt::mps::overlap(a, b), tt::Error);
+}
+
+TEST(MpsRandom, RespectsBondCapAndSector) {
+  auto sites = tt::models::spin_half_sites(8);
+  Rng rng(5);
+  Mps psi = Mps::random(sites, QN(0), 8, rng);
+  psi.check_consistency();
+  EXPECT_EQ(psi.total_qn(), QN(0));
+  EXPECT_LE(psi.max_bond_dim(), 8 + 4);  // proportional rounding slack
+  EXPECT_GT(psi.max_bond_dim(), 1);
+  EXPECT_NEAR(psi.norm(), 1.0, 1e-12);
+}
+
+TEST(MpsRandom, ElectronTwoChargeSector) {
+  auto sites = tt::models::electron_sites(6);
+  Rng rng(6);
+  Mps psi = Mps::random(sites, QN(6, 0), 12, rng);
+  psi.check_consistency();
+  EXPECT_EQ(psi.total_qn(), QN(6, 0));
+  EXPECT_NEAR(psi.norm(), 1.0, 1e-12);
+  // Two U(1) charges should make middle bonds multi-sector (cf. paper Fig 2a).
+  const BlockTensor& mid = psi.site(3);
+  EXPECT_GT(mid.index(0).num_sectors(), 2);
+}
+
+TEST(MpsRandom, UnreachableSectorThrows) {
+  auto sites = tt::models::spin_half_sites(3);
+  Rng rng(7);
+  EXPECT_THROW(Mps::random(sites, QN(0), 4, rng), tt::Error);  // odd N: 2Sz=0 unreachable
+}
+
+TEST(MpsCanonicalize, LeftSitesAreIsometries) {
+  auto sites = tt::models::spin_half_sites(6);
+  Rng rng(8);
+  Mps psi = Mps::random(sites, QN(0), 10, rng);
+  psi.canonicalize(3);
+  EXPECT_EQ(psi.center(), 3);
+  // Sites left of the center: contracting with own dagger over (l,s) gives 1.
+  for (int j = 0; j < 3; ++j) {
+    BlockTensor g =
+        tt::symm::contract(psi.site(j).dagger(), psi.site(j), {{0, 0}, {1, 1}});
+    for (const auto& [key, blk] : g.blocks()) {
+      ASSERT_EQ(key[0], key[1]);
+      for (index_t a = 0; a < blk.dim(0); ++a)
+        for (index_t b = 0; b < blk.dim(1); ++b)
+          EXPECT_NEAR(blk.at({a, b}), a == b ? 1.0 : 0.0, 1e-10) << "site " << j;
+    }
+  }
+  // Sites right of the center: contraction over (s,r) gives 1.
+  for (int j = 4; j < 6; ++j) {
+    BlockTensor g =
+        tt::symm::contract(psi.site(j), psi.site(j).dagger(), {{1, 1}, {2, 2}});
+    for (const auto& [key, blk] : g.blocks()) {
+      ASSERT_EQ(key[0], key[1]);
+      for (index_t a = 0; a < blk.dim(0); ++a)
+        for (index_t b = 0; b < blk.dim(1); ++b)
+          EXPECT_NEAR(blk.at({a, b}), a == b ? 1.0 : 0.0, 1e-10) << "site " << j;
+    }
+  }
+}
+
+TEST(MpsCanonicalize, PreservesTheState) {
+  auto sites = tt::models::spin_half_sites(6);
+  Rng rng(9);
+  Mps psi = Mps::random(sites, QN(0), 10, rng);
+  Mps orig = psi;
+  psi.canonicalize(0);
+  psi.canonicalize(5);
+  psi.canonicalize(2);
+  // ⟨orig|psi⟩ should remain |orig|² (= 1 after normalization).
+  EXPECT_NEAR(tt::mps::overlap(orig, psi), tt::mps::overlap(orig, orig), 1e-10);
+}
+
+TEST(MpsCanonicalize, NormFromCenterMatchesFullContraction) {
+  auto sites = tt::models::spin_half_sites(5);
+  Rng rng(10);
+  Mps psi = Mps::random(sites, QN(1), 6, rng);
+  psi.site(2).scale(1.7);  // denormalize
+  psi.set_center(-1);
+  const double full = psi.norm();
+  psi.canonicalize(2);
+  EXPECT_NEAR(psi.norm(), full, 1e-10 * (1.0 + full));
+}
+
+TEST(MpsNormalize, MakesUnitNorm) {
+  auto sites = tt::models::spin_half_sites(4);
+  Rng rng(11);
+  Mps psi = Mps::random(sites, QN(0), 4, rng);
+  psi.site(1).scale(3.0);
+  psi.set_center(-1);
+  psi.normalize();
+  EXPECT_NEAR(std::sqrt(tt::mps::overlap(psi, psi)), 1.0, 1e-10);
+}
+
+TEST(Mps, BondDimsReporting) {
+  auto sites = tt::models::spin_half_sites(5);
+  Rng rng(12);
+  Mps psi = Mps::random(sites, QN(1), 6, rng);
+  auto dims = psi.bond_dims();
+  EXPECT_EQ(dims.size(), 4u);
+  for (std::size_t j = 0; j < dims.size(); ++j)
+    EXPECT_EQ(dims[j], psi.bond_dim(static_cast<int>(j)));
+}
+
+}  // namespace

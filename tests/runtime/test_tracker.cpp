@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "runtime/tracker.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using tt::rt::Category;
+using tt::rt::CostTracker;
+
+TEST(Tracker, AccumulatesPerCategory) {
+  CostTracker t;
+  t.add_time(Category::kGemm, 1.0);
+  t.add_time(Category::kGemm, 0.5);
+  t.add_time(Category::kComm, 2.0);
+  EXPECT_DOUBLE_EQ(t.time(Category::kGemm), 1.5);
+  EXPECT_DOUBLE_EQ(t.time(Category::kComm), 2.0);
+  EXPECT_DOUBLE_EQ(t.total_time(), 3.5);
+}
+
+TEST(Tracker, PercentagesSumToHundred) {
+  CostTracker t;
+  t.add_time(Category::kGemm, 3.0);
+  t.add_time(Category::kSvd, 1.0);
+  t.add_time(Category::kImbalance, 1.0);
+  auto p = t.percentages();
+  double total = 0.0;
+  for (double v : p) total += v;
+  EXPECT_NEAR(total, 100.0, 1e-9);
+  EXPECT_NEAR(p[static_cast<int>(Category::kGemm)], 60.0, 1e-9);
+}
+
+TEST(Tracker, PercentagesOfEmptyTrackerAreZero) {
+  CostTracker t;
+  for (double v : t.percentages()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Tracker, RawBspQuantities) {
+  CostTracker t;
+  t.add_flops(100.0);
+  t.add_words(7.0);
+  t.add_supersteps(3.0);
+  EXPECT_DOUBLE_EQ(t.flops(), 100.0);
+  EXPECT_DOUBLE_EQ(t.words(), 7.0);
+  EXPECT_DOUBLE_EQ(t.supersteps(), 3.0);
+}
+
+TEST(Tracker, DiffMeasuresSubRegion) {
+  CostTracker t;
+  t.add_time(Category::kGemm, 1.0);
+  t.add_flops(10.0);
+  CostTracker start = t;
+  t.add_time(Category::kGemm, 2.0);
+  t.add_flops(30.0);
+  CostTracker d = t.diff(start);
+  EXPECT_DOUBLE_EQ(d.time(Category::kGemm), 2.0);
+  EXPECT_DOUBLE_EQ(d.flops(), 30.0);
+}
+
+TEST(Tracker, NegativeTimeRejected) {
+  CostTracker t;
+  EXPECT_THROW(t.add_time(Category::kGemm, -1.0), tt::Error);
+}
+
+TEST(Tracker, ResetClearsEverything) {
+  CostTracker t;
+  t.add_time(Category::kOther, 5.0);
+  t.add_flops(1.0);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.total_time(), 0.0);
+  EXPECT_DOUBLE_EQ(t.flops(), 0.0);
+}
+
+TEST(Tracker, CategoryNames) {
+  EXPECT_STREQ(tt::rt::category_name(Category::kGemm), "GEMM");
+  EXPECT_STREQ(tt::rt::category_name(Category::kSvd), "SVD");
+  EXPECT_STREQ(tt::rt::category_name(Category::kTranspose), "CTF transposition");
+}
+
+}  // namespace

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace {
+
+TEST(Error, CheckPassesOnTrue) { EXPECT_NO_THROW(TT_CHECK(1 + 1 == 2)); }
+
+TEST(Error, CheckThrowsOnFalse) {
+  EXPECT_THROW(TT_CHECK(false), tt::Error);
+}
+
+TEST(Error, CheckMessageContainsConditionAndDetail) {
+  try {
+    TT_CHECK(2 < 1, "two is not less than " << 1);
+    FAIL() << "expected throw";
+  } catch (const tt::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than 1"), std::string::npos);
+  }
+}
+
+TEST(Error, FailAlwaysThrows) {
+  EXPECT_THROW(TT_FAIL("unconditional"), tt::Error);
+}
+
+TEST(Error, ErrorIsARuntimeError) {
+  try {
+    TT_FAIL("x");
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+    return;
+  }
+  FAIL() << "tt::Error should derive from std::runtime_error";
+}
+
+TEST(Error, CheckWithoutMessageStillThrows) {
+  try {
+    TT_CHECK(false);
+    FAIL() << "expected throw";
+  } catch (const tt::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("false"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "symm/block_ops.hpp"
+#include "symm/fuse.hpp"
+#include "tensor/einsum.hpp"
+
+namespace {
+
+using tt::Rng;
+using tt::symm::BlockTensor;
+using tt::symm::ContractStats;
+using tt::symm::Dir;
+using tt::symm::Index;
+using tt::symm::QN;
+
+Index even_bond(Dir d) { return Index({{QN(-2), 2}, {QN(0), 3}, {QN(2), 1}}, d); }
+Index odd_bond(Dir d) { return Index({{QN(-1), 2}, {QN(1), 2}, {QN(3), 1}}, d); }
+Index phys(Dir d) { return Index({{QN(-1), 1}, {QN(1), 1}}, d); }
+
+BlockTensor site_a(Rng& rng) {
+  return BlockTensor::random({even_bond(Dir::In), phys(Dir::In), odd_bond(Dir::Out)},
+                             QN::zero(1), rng);
+}
+BlockTensor site_b(Rng& rng) {
+  return BlockTensor::random({odd_bond(Dir::In), phys(Dir::In), even_bond(Dir::Out)},
+                             QN::zero(1), rng);
+}
+
+TEST(BlockContract, MatchesFusedDenseEinsum) {
+  Rng rng(21);
+  BlockTensor a = site_a(rng);
+  BlockTensor b = site_b(rng);
+  // Contract a's right bond with b's left bond: theta(l,s1,s2,r).
+  BlockTensor c = tt::symm::contract(a, b, {{2, 0}});
+  // Reference: fused dense einsum.
+  auto da = tt::symm::fuse_dense(a);
+  auto db = tt::symm::fuse_dense(b);
+  auto want = tt::tensor::einsum("lsr,rtm->lstm", da, db);
+  auto got = tt::symm::fuse_dense(c);
+  EXPECT_LT(tt::tensor::max_abs_diff(got, want), 1e-10 * (1.0 + want.max_abs()));
+}
+
+TEST(BlockContract, OutputStructure) {
+  Rng rng(22);
+  BlockTensor a = site_a(rng);
+  BlockTensor b = site_b(rng);
+  BlockTensor c = tt::symm::contract(a, b, {{2, 0}});
+  EXPECT_EQ(c.order(), 4);
+  EXPECT_TRUE(c.index(0).same_space(a.index(0)));
+  EXPECT_TRUE(c.index(1).same_space(a.index(1)));
+  EXPECT_TRUE(c.index(2).same_space(b.index(1)));
+  EXPECT_TRUE(c.index(3).same_space(b.index(2)));
+  EXPECT_EQ(c.flux(), QN(0));
+  for (const auto& [key, blk] : c.blocks()) EXPECT_TRUE(c.key_allowed(key));
+}
+
+TEST(BlockContract, MultiModeContraction) {
+  Rng rng(23);
+  BlockTensor a = site_a(rng);
+  // Contract over both bond AND phys: overlap-style double contraction with
+  // the dagger of an identically-structured tensor.
+  BlockTensor b = site_a(rng).dagger();
+  BlockTensor c = tt::symm::contract(a, b, {{1, 1}, {2, 2}});
+  auto want = tt::tensor::einsum("lsr,msr->lm", tt::symm::fuse_dense(a),
+                                 tt::symm::fuse_dense(b));
+  EXPECT_LT(tt::tensor::max_abs_diff(tt::symm::fuse_dense(c), want),
+            1e-10 * (1.0 + want.max_abs()));
+}
+
+TEST(BlockContract, FullContractionToScalar) {
+  Rng rng(24);
+  BlockTensor a = site_a(rng);
+  BlockTensor adag = a.dagger();
+  BlockTensor c = tt::symm::contract(a, adag, {{0, 0}, {1, 1}, {2, 2}});
+  EXPECT_EQ(c.order(), 0);
+  ASSERT_EQ(c.num_blocks(), 1);
+  const double norm2 = a.norm2() * a.norm2();
+  EXPECT_NEAR(c.blocks().begin()->second[0], norm2, 1e-9 * (1.0 + norm2));
+}
+
+TEST(BlockContract, StatsCountBlockPairsAndFlops) {
+  Rng rng(25);
+  BlockTensor a = site_a(rng);
+  BlockTensor b = site_b(rng);
+  ContractStats st;
+  tt::symm::contract(a, b, {{2, 0}}, &st);
+  EXPECT_GT(st.block_ops.size(), 0u);
+  double sum = 0.0;
+  for (const auto& op : st.block_ops) {
+    EXPECT_GT(op.flops, 0.0);
+    EXPECT_GT(op.words_a, 0.0);
+    sum += op.flops;
+  }
+  EXPECT_DOUBLE_EQ(sum, st.total_flops);
+}
+
+TEST(BlockContract, RejectsNonContractibleLegs) {
+  Rng rng(26);
+  BlockTensor a = site_a(rng);
+  BlockTensor b = site_b(rng);
+  // a mode 2 (odd Out) against b mode 2 (even Out): same dir and different
+  // sectors — both violations.
+  EXPECT_THROW(tt::symm::contract(a, b, {{2, 2}}), tt::Error);
+  // a phys (In) against b phys (In): same direction.
+  EXPECT_THROW(tt::symm::contract(a, b, {{1, 1}}), tt::Error);
+}
+
+TEST(BlockContract, RejectsOutOfRangeAndDuplicateModes) {
+  Rng rng(27);
+  BlockTensor a = site_a(rng);
+  BlockTensor b = site_b(rng);
+  EXPECT_THROW(tt::symm::contract(a, b, {{3, 0}}), tt::Error);
+  EXPECT_THROW(tt::symm::contract(a, b, {{2, 0}, {2, 0}}), tt::Error);
+}
+
+TEST(BlockContract, FluxAddsThroughContraction) {
+  // Give one operand a nonzero flux and check the output flux.
+  Rng rng(28);
+  Index l({{QN(0), 2}}, Dir::In);
+  BlockTensor a = BlockTensor::random({l, phys(Dir::In)}, QN(1), rng);
+  BlockTensor b =
+      BlockTensor::random({phys(Dir::Out), odd_bond(Dir::Out)}, QN(-1), rng);
+  BlockTensor c = tt::symm::contract(a, b, {{1, 0}});
+  EXPECT_EQ(c.flux(), QN(0));
+  // And the contraction matches the fused reference.
+  auto want = tt::tensor::einsum("ls,sr->lr", tt::symm::fuse_dense(a),
+                                 tt::symm::fuse_dense(b));
+  EXPECT_LT(tt::tensor::max_abs_diff(tt::symm::fuse_dense(c), want), 1e-10);
+}
+
+TEST(BlockContract, EmptyOperandGivesEmptyResult) {
+  Rng rng(29);
+  BlockTensor a(
+      {even_bond(Dir::In), phys(Dir::In), odd_bond(Dir::Out)}, QN::zero(1));
+  BlockTensor b = site_b(rng);
+  BlockTensor c = tt::symm::contract(a, b, {{2, 0}});
+  EXPECT_EQ(c.num_blocks(), 0);
+}
+
+}  // namespace

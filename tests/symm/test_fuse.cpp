@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "symm/block_ops.hpp"
+#include "symm/fuse.hpp"
+#include "tensor/einsum.hpp"
+
+namespace {
+
+using tt::Rng;
+using tt::index_t;
+using tt::symm::BlockTensor;
+using tt::symm::Dir;
+using tt::symm::Index;
+using tt::symm::QN;
+
+Index even_bond(Dir d) { return Index({{QN(-2), 2}, {QN(0), 3}, {QN(2), 1}}, d); }
+Index odd_bond(Dir d) { return Index({{QN(-1), 2}, {QN(1), 2}, {QN(3), 1}}, d); }
+Index phys(Dir d) { return Index({{QN(-1), 1}, {QN(1), 1}}, d); }
+
+BlockTensor site(Rng& rng) {
+  return BlockTensor::random({even_bond(Dir::In), phys(Dir::In), odd_bond(Dir::Out)},
+                             QN::zero(1), rng);
+}
+
+TEST(Fuse, DenseShapeIsFusedDims) {
+  Rng rng(51);
+  BlockTensor t = site(rng);
+  auto d = tt::symm::fuse_dense(t);
+  EXPECT_EQ(d.shape(), (std::vector<index_t>{6, 2, 5}));
+}
+
+TEST(Fuse, DenseRoundTrip) {
+  Rng rng(52);
+  BlockTensor t = site(rng);
+  auto d = tt::symm::fuse_dense(t);
+  BlockTensor back = tt::symm::split_dense(d, t.indices(), t.flux());
+  EXPECT_LT(tt::symm::max_abs_diff(back, t), 1e-15);
+}
+
+TEST(Fuse, SparseRoundTrip) {
+  Rng rng(53);
+  BlockTensor t = site(rng);
+  auto s = tt::symm::fuse_sparse(t);
+  BlockTensor back = tt::symm::split_sparse(s, t.indices(), t.flux());
+  EXPECT_LT(tt::symm::max_abs_diff(back, t), 1e-15);
+}
+
+TEST(Fuse, SparseNnzEqualsStoredElements) {
+  Rng rng(54);
+  BlockTensor t = site(rng);
+  auto s = tt::symm::fuse_sparse(t);
+  // Random normal entries are never exactly zero in practice.
+  EXPECT_EQ(s.nnz(), t.num_elements());
+  EXPECT_NEAR(s.density(), t.fill_fraction(), 1e-12);
+}
+
+TEST(Fuse, DenseAndSparseAgree) {
+  Rng rng(55);
+  BlockTensor t = site(rng);
+  auto d = tt::symm::fuse_dense(t);
+  auto s = tt::symm::fuse_sparse(t);
+  EXPECT_LT(tt::tensor::max_abs_diff(s.to_dense(), d), 1e-15);
+}
+
+TEST(Fuse, BlockValuesLandAtSectorOffsets) {
+  Rng rng(56);
+  BlockTensor t = site(rng);
+  auto d = tt::symm::fuse_dense(t);
+  // Block (l=0 sector id 1, s=+1 id 1, r=+1 id 1): offsets l:2, s:1, r:2.
+  const auto* blk = t.find_block({1, 1, 1});
+  ASSERT_NE(blk, nullptr);
+  EXPECT_DOUBLE_EQ(d.at({2, 1, 2}), blk->at({0, 0, 0}));
+  EXPECT_DOUBLE_EQ(d.at({4, 1, 3}), blk->at({2, 0, 1}));
+}
+
+TEST(Fuse, SplitDensePrunesZeroBlocks) {
+  Rng rng(57);
+  BlockTensor t = site(rng);
+  auto d = tt::symm::fuse_dense(t);
+  // Zero out one block's region in the fused tensor.
+  for (index_t l = 2; l < 5; ++l)
+    for (index_t r = 2; r < 4; ++r) d.at({l, 1, r}) = 0.0;
+  BlockTensor back = tt::symm::split_dense(d, t.indices(), t.flux());
+  EXPECT_EQ(back.find_block({1, 1, 1}), nullptr);
+  EXPECT_EQ(back.num_blocks(), t.num_blocks() - 1);
+}
+
+TEST(Fuse, SplitSparseRejectsSymmetryViolation) {
+  Rng rng(58);
+  BlockTensor t = site(rng);
+  auto s = tt::symm::fuse_sparse(t);
+  // Inject an entry outside every admissible block: position (l=0 [q=-2],
+  // s=0 [q=-1], r=2 [q=+1]) has charge -2-1-1 = -4 ≠ 0... compute flat.
+  tt::tensor::SparseTensor bad(s.shape());
+  for (std::size_t i = 0; i < s.indices().size(); ++i) bad.add(s.indices()[i], s.values()[i]);
+  bad.add(0 * (2 * 5) + 0 * 5 + 2, 0.5);  // (0,0,2)
+  bad.finalize();
+  EXPECT_THROW(tt::symm::split_sparse(bad, t.indices(), t.flux()), tt::Error);
+}
+
+TEST(Fuse, StructureMaskCoversAllAdmissibleBlocks) {
+  Rng rng(59);
+  BlockTensor t = site(rng);
+  auto mask = tt::symm::structure_mask(t.indices(), t.flux());
+  // The mask covers exactly the union of admissible block positions — the
+  // same count as a fully-populated tensor's elements.
+  EXPECT_EQ(mask.nnz(), t.num_elements());
+  // Every stored element of a fused tensor is inside the mask.
+  auto s = tt::symm::fuse_sparse(t);
+  for (index_t f : s.indices()) EXPECT_TRUE(mask.contains(f));
+}
+
+TEST(Fuse, MaskMatchesFillFraction) {
+  Rng rng(60);
+  BlockTensor t = site(rng);
+  auto mask = tt::symm::structure_mask(t.indices(), t.flux());
+  EXPECT_NEAR(mask.density(), t.fill_fraction(), 1e-12);
+}
+
+TEST(Fuse, ShapeMismatchThrows) {
+  Rng rng(61);
+  BlockTensor t = site(rng);
+  tt::tensor::DenseTensor wrong({6, 2, 4});
+  EXPECT_THROW(tt::symm::split_dense(wrong, t.indices(), t.flux()), tt::Error);
+}
+
+TEST(Fuse, FusedContractionEqualsBlockContraction) {
+  // The sparse-dense algorithm's core identity: contract fused tensors with a
+  // single dense einsum and split back — must equal Algorithm 2 block-wise.
+  Rng rng(62);
+  BlockTensor a = site(rng);
+  BlockTensor b = BlockTensor::random(
+      {odd_bond(Dir::In), phys(Dir::In), even_bond(Dir::Out)}, QN::zero(1), rng);
+  BlockTensor want = tt::symm::contract(a, b, {{2, 0}});
+
+  auto dc = tt::tensor::einsum("lsr,rtm->lstm", tt::symm::fuse_dense(a),
+                               tt::symm::fuse_dense(b));
+  BlockTensor got = tt::symm::split_dense(dc, want.indices(), want.flux());
+  EXPECT_LT(tt::symm::max_abs_diff(got, want), 1e-10 * (1.0 + want.norm2()));
+}
+
+TEST(Fuse, SparseContractionWithMaskEqualsBlockContraction) {
+  // The sparse-sparse algorithm's core identity, with precomputed output
+  // sparsity restricting the accumulation.
+  Rng rng(63);
+  BlockTensor a = site(rng);
+  BlockTensor b = BlockTensor::random(
+      {odd_bond(Dir::In), phys(Dir::In), even_bond(Dir::Out)}, QN::zero(1), rng);
+  BlockTensor want = tt::symm::contract(a, b, {{2, 0}});
+
+  auto mask = tt::symm::structure_mask(want.indices(), want.flux());
+  auto sc = tt::tensor::einsum_ss("lsr,rtm->lstm", tt::symm::fuse_sparse(a),
+                                  tt::symm::fuse_sparse(b), nullptr, &mask);
+  BlockTensor got = tt::symm::split_sparse(sc, want.indices(), want.flux());
+  EXPECT_LT(tt::symm::max_abs_diff(got, want), 1e-10 * (1.0 + want.norm2()));
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "symm/qn.hpp"
+
+namespace {
+
+using tt::symm::QN;
+
+TEST(QN, RankAndComponents) {
+  QN a(3);
+  EXPECT_EQ(a.rank(), 1);
+  EXPECT_EQ(a[0], 3);
+  QN b(1, -2);
+  EXPECT_EQ(b.rank(), 2);
+  EXPECT_EQ(b[0], 1);
+  EXPECT_EQ(b[1], -2);
+}
+
+TEST(QN, ZeroFactory) {
+  QN z = QN::zero(2);
+  EXPECT_EQ(z.rank(), 2);
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_THROW(QN::zero(3), tt::Error);
+  EXPECT_THROW(QN::zero(-1), tt::Error);
+}
+
+TEST(QN, Addition) {
+  QN a(1, 2), b(3, -5);
+  QN c = a + b;
+  EXPECT_EQ(c[0], 4);
+  EXPECT_EQ(c[1], -3);
+}
+
+TEST(QN, NegationAndSubtraction) {
+  QN a(2, -1);
+  QN n = -a;
+  EXPECT_EQ(n[0], -2);
+  EXPECT_EQ(n[1], 1);
+  QN d = a - a;
+  EXPECT_TRUE(d.is_zero());
+}
+
+TEST(QN, RankMismatchThrows) {
+  QN a(1), b(1, 2);
+  EXPECT_THROW(a + b, tt::Error);
+  EXPECT_THROW(a - b, tt::Error);
+}
+
+TEST(QN, ComparisonOperators) {
+  EXPECT_TRUE(QN(1) == QN(1));
+  EXPECT_TRUE(QN(1) != QN(2));
+  EXPECT_TRUE(QN(1) < QN(2));
+  EXPECT_TRUE(QN(1, 0) < QN(1, 5));
+  EXPECT_FALSE(QN(2, 0) < QN(1, 5));
+  // Distinct ranks never compare equal.
+  EXPECT_TRUE(QN(1) != QN(1, 0));
+}
+
+TEST(QN, ComponentOutOfRangeThrows) {
+  QN a(1);
+  EXPECT_THROW(a[1], tt::Error);
+  EXPECT_THROW(a[-1], tt::Error);
+}
+
+TEST(QN, StringForm) {
+  EXPECT_EQ(QN(3).str(), "(3)");
+  EXPECT_EQ(QN(1, -2).str(), "(1,-2)");
+  EXPECT_EQ(QN().str(), "()");
+}
+
+TEST(QN, MapOrderingIsStrictWeak) {
+  // QN is used as a std::map key: antisymmetry sanity.
+  QN a(0, 1), b(0, 1);
+  EXPECT_FALSE(a < b);
+  EXPECT_FALSE(b < a);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "support/error.hpp"
+#include "tensor/dense.hpp"
+
+namespace {
+
+using tt::Rng;
+using tt::index_t;
+using tt::tensor::DenseTensor;
+
+TEST(DenseTensor, ShapeAndSize) {
+  DenseTensor t({2, 3, 4});
+  EXPECT_EQ(t.order(), 3);
+  EXPECT_EQ(t.size(), 24);
+  EXPECT_EQ(t.dim(1), 3);
+}
+
+TEST(DenseTensor, ScalarTensor) {
+  DenseTensor s = DenseTensor::scalar(2.5);
+  EXPECT_EQ(s.order(), 0);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_DOUBLE_EQ(s[0], 2.5);
+}
+
+TEST(DenseTensor, StridesRowMajor) {
+  DenseTensor t({2, 3, 4});
+  auto s = t.strides();
+  EXPECT_EQ(s, (std::vector<index_t>{12, 4, 1}));
+}
+
+TEST(DenseTensor, MultiIndexMatchesFlat) {
+  DenseTensor t({2, 3, 4});
+  std::iota(t.data(), t.data() + t.size(), 0.0);
+  EXPECT_DOUBLE_EQ(t.at({1, 2, 3}), 1 * 12 + 2 * 4 + 3);
+  EXPECT_DOUBLE_EQ(t.at({0, 1, 0}), 4.0);
+}
+
+TEST(DenseTensor, OutOfBoundsIndexThrows) {
+  DenseTensor t({2, 2});
+  EXPECT_THROW(t.at({2, 0}), tt::Error);
+  EXPECT_THROW(t.at({0, 0, 0}), tt::Error);
+}
+
+TEST(DenseTensor, ReshapePreservesData) {
+  Rng rng(1);
+  DenseTensor t = DenseTensor::random({3, 4}, rng);
+  DenseTensor r = t.reshaped({2, 6});
+  EXPECT_EQ(r.order(), 2);
+  for (index_t i = 0; i < 12; ++i) EXPECT_DOUBLE_EQ(t[i], r[i]);
+  EXPECT_THROW(t.reshaped({5, 5}), tt::Error);
+}
+
+TEST(DenseTensor, PermuteMatrixTranspose) {
+  Rng rng(2);
+  DenseTensor t = DenseTensor::random({3, 5}, rng);
+  DenseTensor p = t.permuted({1, 0});
+  EXPECT_EQ(p.dim(0), 5);
+  EXPECT_EQ(p.dim(1), 3);
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 5; ++j) EXPECT_DOUBLE_EQ(p.at({j, i}), t.at({i, j}));
+}
+
+TEST(DenseTensor, PermuteOrder4AgainstDirectIndexing) {
+  Rng rng(3);
+  DenseTensor t = DenseTensor::random({2, 3, 4, 5}, rng);
+  DenseTensor p = t.permuted({2, 0, 3, 1});
+  for (index_t a = 0; a < 2; ++a)
+    for (index_t b = 0; b < 3; ++b)
+      for (index_t c = 0; c < 4; ++c)
+        for (index_t d = 0; d < 5; ++d)
+          EXPECT_DOUBLE_EQ(p.at({c, a, d, b}), t.at({a, b, c, d}));
+}
+
+class PermuteRoundTrip : public ::testing::TestWithParam<std::vector<int>> {};
+
+TEST_P(PermuteRoundTrip, InversePermutationRestoresTensor) {
+  const std::vector<int>& perm = GetParam();
+  Rng rng(7);
+  DenseTensor t = DenseTensor::random({3, 4, 2, 5}, rng);
+  DenseTensor p = t.permuted(perm);
+  std::vector<int> inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    inv[static_cast<std::size_t>(perm[i])] = static_cast<int>(i);
+  DenseTensor back = p.permuted(inv);
+  EXPECT_DOUBLE_EQ(tt::tensor::max_abs_diff(back, t), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Perms, PermuteRoundTrip,
+                         ::testing::Values(std::vector<int>{0, 1, 2, 3},
+                                           std::vector<int>{3, 2, 1, 0},
+                                           std::vector<int>{1, 0, 3, 2},
+                                           std::vector<int>{2, 3, 0, 1},
+                                           std::vector<int>{0, 2, 1, 3},
+                                           std::vector<int>{3, 0, 2, 1}));
+
+TEST(DenseTensor, PermuteRejectsInvalidPerm) {
+  DenseTensor t({2, 2});
+  EXPECT_THROW(t.permuted({0, 0}), tt::Error);
+  EXPECT_THROW(t.permuted({0}), tt::Error);
+  EXPECT_THROW(t.permuted({0, 2}), tt::Error);
+}
+
+TEST(DenseTensor, PermuteLargeParallelPath) {
+  Rng rng(11);
+  DenseTensor t = DenseTensor::random({64, 48, 32}, rng);  // > parallel threshold
+  DenseTensor p = t.permuted({2, 1, 0});
+  for (index_t a : {index_t{0}, index_t{13}, index_t{63}})
+    for (index_t b : {index_t{0}, index_t{21}, index_t{47}})
+      for (index_t c : {index_t{0}, index_t{9}, index_t{31}})
+        EXPECT_DOUBLE_EQ(p.at({c, b, a}), t.at({a, b, c}));
+}
+
+TEST(DenseTensor, AxpyDotNorm) {
+  Rng rng(4);
+  DenseTensor a = DenseTensor::random({6, 7}, rng);
+  DenseTensor b = DenseTensor::random({6, 7}, rng);
+  const double ab = tt::tensor::dot(a, b);
+  DenseTensor c = a;
+  c.axpy(2.0, b);
+  // <a+2b, a+2b> = |a|^2 + 4<a,b> + 4|b|^2
+  const double expect = a.norm2() * a.norm2() + 4.0 * ab + 4.0 * b.norm2() * b.norm2();
+  EXPECT_NEAR(c.norm2() * c.norm2(), expect, 1e-9);
+}
+
+TEST(DenseTensor, FillAndScale) {
+  DenseTensor t({2, 2});
+  t.fill(3.0);
+  t.scale(-2.0);
+  for (index_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(t[i], -6.0);
+}
+
+TEST(DenseTensor, ZeroDimensionTensor) {
+  DenseTensor t({4, 0, 3});
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_TRUE(t.empty());
+  DenseTensor p = t.permuted({2, 1, 0});
+  EXPECT_EQ(p.dim(0), 3);
+  EXPECT_EQ(p.size(), 0);
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/naive_einsum.hpp"
+#include "support/error.hpp"
+#include "tensor/einsum.hpp"
+#include "tensor/sparse.hpp"
+
+namespace {
+
+using tt::Rng;
+using tt::index_t;
+using tt::tensor::DenseTensor;
+using tt::tensor::EinsumStats;
+using tt::tensor::SparseTensor;
+
+// Random tensor with a given fill fraction of nonzeros.
+DenseTensor random_sparse_dense(std::vector<index_t> shape, double fill, unsigned seed) {
+  Rng rng(seed);
+  DenseTensor t(std::move(shape));
+  for (index_t i = 0; i < t.size(); ++i)
+    if (rng.uniform() < fill) t[i] = rng.normal();
+  return t;
+}
+
+TEST(SparseTensor, FromDenseRoundTrip) {
+  DenseTensor d = random_sparse_dense({4, 5, 3}, 0.3, 1);
+  SparseTensor s = SparseTensor::from_dense(d);
+  EXPECT_LT(tt::tensor::max_abs_diff(s.to_dense(), d), 1e-15);
+  EXPECT_GT(s.nnz(), 0);
+  EXPECT_LT(s.nnz(), d.size());
+}
+
+TEST(SparseTensor, FinalizeMergesDuplicates) {
+  SparseTensor s({4});
+  s.add(2, 1.0);
+  s.add(2, 2.5);
+  s.add(0, -1.0);
+  s.finalize();
+  EXPECT_EQ(s.nnz(), 2);
+  EXPECT_DOUBLE_EQ(s.value_at(2), 3.5);
+  EXPECT_DOUBLE_EQ(s.value_at(0), -1.0);
+  EXPECT_DOUBLE_EQ(s.value_at(1), 0.0);
+}
+
+TEST(SparseTensor, FinalizeDropsCancelledEntries) {
+  SparseTensor s({3});
+  s.add(1, 2.0);
+  s.add(1, -2.0);
+  s.finalize();
+  EXPECT_EQ(s.nnz(), 0);
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST(SparseTensor, ContainsAndDensity) {
+  SparseTensor s({2, 5});
+  s.add(3, 1.0);
+  s.add(7, 2.0);
+  s.finalize();
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_DOUBLE_EQ(s.density(), 0.2);
+}
+
+TEST(SparseTensor, IndexOutOfRangeThrows) {
+  SparseTensor s({2, 2});
+  EXPECT_THROW(s.add(4, 1.0), tt::Error);
+  EXPECT_THROW(s.add(-1, 1.0), tt::Error);
+}
+
+TEST(SparseTensor, NormMatchesDense) {
+  DenseTensor d = random_sparse_dense({6, 6}, 0.4, 2);
+  SparseTensor s = SparseTensor::from_dense(d);
+  EXPECT_NEAR(s.norm2(), d.norm2(), 1e-12);
+}
+
+struct Case {
+  std::string spec;
+  std::vector<index_t> sa, sb;
+};
+
+class SparseEinsumParam : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SparseEinsumParam, SparseSparseMatchesDense) {
+  const Case& c = GetParam();
+  DenseTensor da = random_sparse_dense(c.sa, 0.35, 11);
+  DenseTensor db = random_sparse_dense(c.sb, 0.35, 13);
+  SparseTensor sa = SparseTensor::from_dense(da);
+  SparseTensor sb = SparseTensor::from_dense(db);
+  SparseTensor got = tt::tensor::einsum_ss(c.spec, sa, sb);
+  DenseTensor want = tt::testing::naive_einsum(c.spec, da, db);
+  EXPECT_LT(tt::tensor::max_abs_diff(got.to_dense(), want),
+            1e-10 * (1.0 + want.max_abs()))
+      << c.spec;
+}
+
+TEST_P(SparseEinsumParam, SparseDenseMatchesDense) {
+  const Case& c = GetParam();
+  DenseTensor da = random_sparse_dense(c.sa, 0.35, 17);
+  Rng rng(19);
+  DenseTensor db = DenseTensor::random(c.sb, rng);
+  SparseTensor sa = SparseTensor::from_dense(da);
+  DenseTensor got = tt::tensor::einsum_sd(c.spec, sa, db);
+  DenseTensor want = tt::testing::naive_einsum(c.spec, da, db);
+  EXPECT_LT(tt::tensor::max_abs_diff(got, want), 1e-10 * (1.0 + want.max_abs()))
+      << c.spec;
+}
+
+TEST_P(SparseEinsumParam, DenseSparseMatchesDense) {
+  const Case& c = GetParam();
+  Rng rng(23);
+  DenseTensor da = DenseTensor::random(c.sa, rng);
+  DenseTensor db = random_sparse_dense(c.sb, 0.35, 29);
+  SparseTensor sb = SparseTensor::from_dense(db);
+  DenseTensor got = tt::tensor::einsum_ds(c.spec, da, sb);
+  DenseTensor want = tt::testing::naive_einsum(c.spec, da, db);
+  EXPECT_LT(tt::tensor::max_abs_diff(got, want), 1e-10 * (1.0 + want.max_abs()))
+      << c.spec;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, SparseEinsumParam,
+    ::testing::Values(Case{"ik,kj->ij", {6, 8}, {8, 7}},
+                      Case{"ik,kj->ji", {6, 8}, {8, 7}},
+                      Case{"akb,bsc->aksc", {3, 4, 5}, {5, 2, 6}},
+                      Case{"akb,asc->kbsc", {3, 4, 5}, {3, 2, 6}},
+                      Case{"abcd,bcde->ae", {2, 3, 4, 2}, {3, 4, 2, 5}},
+                      Case{"ab,ab->", {5, 6}, {5, 6}},
+                      Case{"ab,cd->abcd", {2, 3}, {3, 2}},
+                      Case{"kslm,mtun->kslntu", {2, 3, 2, 4}, {4, 3, 2, 2}}));
+
+TEST(SparseEinsum, OutputMaskRestrictsEntries) {
+  DenseTensor da = random_sparse_dense({6, 8}, 0.5, 31);
+  DenseTensor db = random_sparse_dense({8, 7}, 0.5, 37);
+  SparseTensor sa = SparseTensor::from_dense(da);
+  SparseTensor sb = SparseTensor::from_dense(db);
+
+  // Mask admits only the even flat indices of the output.
+  SparseTensor mask({6, 7});
+  for (index_t f = 0; f < 42; f += 2) mask.add(f, 1.0);
+  mask.finalize();
+
+  SparseTensor got = tt::tensor::einsum_ss("ik,kj->ij", sa, sb, nullptr, &mask);
+  DenseTensor full = tt::testing::naive_einsum("ik,kj->ij", da, db);
+  for (index_t f = 0; f < 42; ++f) {
+    if (f % 2 == 0) {
+      EXPECT_NEAR(got.value_at(f), full[f], 1e-10);
+    } else {
+      EXPECT_FALSE(got.contains(f));
+    }
+  }
+}
+
+TEST(SparseEinsum, StatsCountActualSparseFlops) {
+  // One nonzero in each operand, matching on the contracted index:
+  // exactly one multiply-add = 2 flops.
+  SparseTensor a({2, 2}), b({2, 2});
+  a.add(1, 3.0);  // a[0,1]
+  a.finalize();
+  b.add(2, 4.0);  // b[1,0]
+  b.finalize();
+  EinsumStats st;
+  SparseTensor c = tt::tensor::einsum_ss("ik,kj->ij", a, b, &st);
+  EXPECT_DOUBLE_EQ(st.flops, 2.0);
+  EXPECT_DOUBLE_EQ(c.value_at(0), 12.0);  // c[0,0]
+}
+
+TEST(SparseEinsum, EmptyOperandsYieldEmptyOutput) {
+  SparseTensor a({3, 4}), b({4, 5});
+  a.finalize();
+  b.finalize();
+  SparseTensor c = tt::tensor::einsum_ss("ik,kj->ij", a, b);
+  EXPECT_EQ(c.nnz(), 0);
+  EXPECT_EQ(c.shape(), (std::vector<index_t>{3, 5}));
+}
+
+TEST(SparseEinsum, MaskShapeMismatchThrows) {
+  SparseTensor a({3, 4}), b({4, 5});
+  a.finalize();
+  b.finalize();
+  SparseTensor mask({3, 4});
+  mask.finalize();
+  EXPECT_THROW(tt::tensor::einsum_ss("ik,kj->ij", a, b, nullptr, &mask), tt::Error);
+}
+
+}  // namespace
