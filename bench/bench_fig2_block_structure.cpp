@@ -100,7 +100,7 @@ int main() {
   f.row({"electrons", fmt(fit_exponent(el), 2)});
   f.print();
 
-  // Shape checks mirrored in EXPERIMENTS.md: electrons have more blocks and
+  // Shape checks mirrored in docs/BENCHMARKS.md: electrons have more blocks and
   // lower fill than spins at comparable m.
   if (!sp.empty() && !el.empty()) {
     std::cout << "\nShape check: electrons blocks (" << el.back().blocks

@@ -4,7 +4,7 @@
 // prints the published rows verbatim for context and appends the row this
 // repository realizes (method, symmetry handling, architecture, the maximum
 // bond dimension its benches exercise, and the virtual node counts its
-// simulated clusters cover). See EXPERIMENTS.md.
+// simulated clusters cover). See docs/BENCHMARKS.md.
 #include <iostream>
 
 #include "common.hpp"

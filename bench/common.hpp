@@ -75,7 +75,7 @@ bool full_mode();
 /// machine is rescaled accordingly — node rate by 1/sf³, bandwidths by 1/sf²,
 /// per-event costs (latency, block launch) unchanged — so one bench flop
 /// prices like sf³ paper flops and every reported *ratio* (efficiency,
-/// speedup, breakdown) transfers to paper scale. See DESIGN.md §2.
+/// speedup, breakdown) transfers to paper scale. See docs/BENCHMARKS.md.
 double scale_factor();
 
 /// Cost-model parameters consistent with the scale transformation.

@@ -29,8 +29,19 @@
 
 namespace tt::dmrg {
 
-enum class EngineKind { kReference, kList, kSparseDense, kSparseSparse };
+/// Which contraction strategy an engine executes (see the taxonomy above and
+/// docs/ARCHITECTURE.md). The kind fixes the storage format of operands, the
+/// kernels that run locally, and the distributed cost charged per operation —
+/// never the numerical result.
+enum class EngineKind {
+  kReference,     ///< serial single-node baseline (ITensor stand-in, §IV-A)
+  kList,          ///< per-block-pair distributed dense contractions (Alg. 2)
+  kSparseDense,   ///< operators fused sparse, intermediates fused dense
+  kSparseSparse,  ///< all fused sparse, output sparsity precomputed
+};
 
+/// Stable display name ("reference", "list", "sparse-dense", "sparse-sparse")
+/// as used by the CLI `--engine` flags and the bench tables.
 const char* engine_name(EngineKind k);
 
 /// One charged operation, recorded when logging is enabled. An op log can be
@@ -53,7 +64,13 @@ rt::CostTracker replay_log(const std::vector<OpRecord>& log,
 
 /// Storage role of a contraction operand in the sparse-dense algorithm:
 /// operator tensors stay sparse, Davidson intermediates go dense (§IV-A).
-enum class Role { kOperator, kIntermediate };
+/// Callers tag each operand; the result's role is implied (any intermediate
+/// operand makes the result an intermediate). Engines other than sparse-dense
+/// accept the tags but store both roles the same way.
+enum class Role {
+  kOperator,      ///< MPS/MPO/environment tensor: long-lived, fused sparse
+  kIntermediate,  ///< Davidson work vector: transient, fused dense
+};
 
 /// Abstract contraction engine. Owns a cluster description and a cost
 /// tracker; all DMRG work flows through contract()/svd().
@@ -66,15 +83,21 @@ class ContractionEngine {
   virtual EngineKind kind() const = 0;
   std::string name() const { return engine_name(kind()); }
 
-  /// Contract two block tensors (output role is implied: if either operand is
-  /// an intermediate the result is an intermediate).
+  /// Contract two block tensors over the given (mode of a, mode of b) pairs.
+  /// Uncontracted modes of a then of b, each in order, form the result. The
+  /// output role is implied: if either operand is an intermediate the result
+  /// is an intermediate. All engines must return bit-identical block tensors
+  /// for the same operands — only execution strategy and charged cost differ.
   virtual symm::BlockTensor contract(const symm::BlockTensor& a, Role role_a,
                                      const symm::BlockTensor& b, Role role_b,
                                      const std::vector<std::pair<int, int>>& pairs) = 0;
 
-  /// Truncated SVD across the bipartition. Always executed in the list
-  /// format (paper §IV-A); fused engines additionally charge the
-  /// redistribution of blocks out of / back into the single tensor.
+  /// Truncated SVD across the (row_modes | remaining modes) bipartition,
+  /// truncated per `trunc` (symm::TruncParams: absolute/relative cutoff and
+  /// bond cap, applied globally across quantum-number groups). Always
+  /// executed in the list format (paper §IV-A); fused engines additionally
+  /// charge the redistribution of blocks out of / back into the single
+  /// tensor.
   virtual symm::BlockSvd svd(const symm::BlockTensor& a,
                              const std::vector<int>& row_modes,
                              const symm::TruncParams& trunc);
@@ -126,7 +149,9 @@ class ContractionEngine {
   std::vector<OpRecord> log_;
 };
 
-/// Factory for the four engines.
+/// Factory for the four engines. `cluster` describes the virtual machine the
+/// cost model charges against (use {rt::localhost(), 1, 1} for purely local
+/// runs); it does not affect the numerics.
 std::unique_ptr<ContractionEngine> make_engine(EngineKind kind, rt::Cluster cluster,
                                                rt::CostModelParams params = {});
 

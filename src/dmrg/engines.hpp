@@ -1,4 +1,9 @@
-// Concrete engine implementations (see engine.hpp for the taxonomy).
+// Concrete engine implementations — one class per paper algorithm (see
+// engine.hpp for the taxonomy and docs/ARCHITECTURE.md for the full map).
+// All four produce bit-identical results; the figure benches (bench/) compare
+// their execution profiles: list vs fused engines drive the scaling and
+// Pareto studies of Figs 5 and 8–13, the reference engine supplies the
+// single-node baseline those figures normalize against.
 #pragma once
 
 #include "dmrg/engine.hpp"

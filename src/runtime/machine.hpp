@@ -4,8 +4,8 @@
 // 11–13: Blue Waters Cray XE6 nodes (strong serial cores, Gemini network,
 // lower node throughput) and Stampede2 KNL nodes (high node throughput, weak
 // serial cores, Omni-Path network). We reproduce the architecture dependence
-// through these parameter sets only; see DESIGN.md §2 for the substitution
-// rationale.
+// through these parameter sets only; see docs/BENCHMARKS.md for the
+// substitution rationale.
 #pragma once
 
 #include <string>

@@ -9,7 +9,7 @@ namespace tt {
 using index_t = std::int64_t;
 
 /// Scalar type. The paper's two benchmark Hamiltonians are real symmetric, so
-/// the whole library runs in real double precision (see DESIGN.md §2).
+/// the whole library runs in real double precision (see docs/ARCHITECTURE.md).
 using real_t = double;
 
 }  // namespace tt

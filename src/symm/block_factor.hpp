@@ -13,7 +13,12 @@
 
 namespace tt::symm {
 
-/// Truncation policy for block_svd.
+/// Truncation policy for block_svd. The effective cutoff is
+/// max(cutoff, rel_cutoff · σ_max); σ is kept while it exceeds that AND the
+/// bond cap is not reached, so defaults truncate nothing. Truncation is
+/// global — singular values from all quantum-number groups compete for the
+/// same max_dim slots — and at least one σ is always kept (the bond is never
+/// emptied). Discarded weight Σσ² lands in BlockSvd::truncation_error.
 struct TruncParams {
   real_t cutoff = 0.0;  ///< drop singular values <= cutoff (paper: 1e-12 … 0)
   real_t rel_cutoff = 0.0;  ///< drop σ <= rel_cutoff · σ_max (MPO compression)
