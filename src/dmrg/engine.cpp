@@ -18,7 +18,7 @@ const char* engine_name(EngineKind k) {
 symm::BlockSvd ContractionEngine::svd(const symm::BlockTensor& a,
                                       const std::vector<int>& row_modes,
                                       const symm::TruncParams& trunc) {
-  symm::BlockSvd f = symm::block_svd(a, row_modes, trunc);
+  symm::BlockSvd f = symm::block_svd(a, row_modes, trunc, num_threads_);
   // The SVD itself runs block-group-wise through the distributed
   // pdgesvd-equivalent regardless of engine (paper §IV-A).
   for (const auto& shape : f.shapes) {

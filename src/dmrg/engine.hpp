@@ -107,6 +107,14 @@ class ContractionEngine {
   const rt::CostTracker& tracker() const { return tracker_; }
   const rt::CostModelParams& params() const { return params_; }
 
+  /// Executor threads for block-wise contraction work flowing through this
+  /// engine (the Davidson matvec and environment updates): 0 = the global
+  /// TT_THREADS setting, 1 = serial. Results are bitwise identical at any
+  /// value — only wall time changes; the simulated distributed cost is
+  /// charged from deterministic per-block stats exactly as before.
+  void set_num_threads(int n) { num_threads_ = n; }
+  int num_threads() const { return num_threads_; }
+
   /// Enable/disable op logging (off by default).
   void set_logging(bool on) { logging_ = on; }
   const std::vector<OpRecord>& log() const { return log_; }
@@ -142,11 +150,19 @@ class ContractionEngine {
     log_.push_back(r);
   }
 
+  /// Options handed to symm::contract by the block-wise engines.
+  symm::ContractOptions contract_options() const {
+    symm::ContractOptions o;
+    o.num_threads = num_threads_;
+    return o;
+  }
+
   rt::Cluster cluster_;
   rt::CostModelParams params_;
   rt::CostTracker tracker_;
   bool logging_ = false;
   std::vector<OpRecord> log_;
+  int num_threads_ = 0;
 };
 
 /// Factory for the four engines. `cluster` describes the virtual machine the

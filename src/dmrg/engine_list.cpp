@@ -6,7 +6,7 @@ symm::BlockTensor ListEngine::contract(const symm::BlockTensor& a, Role,
                                        const symm::BlockTensor& b, Role,
                                        const std::vector<std::pair<int, int>>& pairs) {
   symm::ContractStats stats;
-  symm::BlockTensor c = symm::contract(a, b, pairs, &stats);
+  symm::BlockTensor c = symm::contract(a, b, pairs, &stats, contract_options());
   // One distributed dense contraction per block pair (paper Alg. 2): each is
   // an independent 3D-algorithm call with its own synchronization and
   // per-block mapping overhead — O(Nb) supersteps per Davidson iteration.

@@ -7,8 +7,10 @@ namespace tt::dmrg {
 symm::BlockTensor ReferenceEngine::contract(
     const symm::BlockTensor& a, Role, const symm::BlockTensor& b, Role,
     const std::vector<std::pair<int, int>>& pairs) {
+  // Blocks execute on the thread-parallel executor (wall time); the charged
+  // cost stays the serial single-node model of the ITensor baseline.
   symm::ContractStats stats;
-  symm::BlockTensor c = symm::contract(a, b, pairs, &stats);
+  symm::BlockTensor c = symm::contract(a, b, pairs, &stats, contract_options());
   rt::ContractionCost cost;
   cost.flops = stats.total_flops;
   charge_and_log(cost, rt::Layout::kLocal);
@@ -18,7 +20,7 @@ symm::BlockTensor ReferenceEngine::contract(
 symm::BlockSvd ReferenceEngine::svd(const symm::BlockTensor& a,
                                     const std::vector<int>& row_modes,
                                     const symm::TruncParams& trunc) {
-  symm::BlockSvd f = symm::block_svd(a, row_modes, trunc);
+  symm::BlockSvd f = symm::block_svd(a, row_modes, trunc, num_threads_);
   // Serial single-node SVD: flops at the node's (reduced) SVD rate, no
   // communication.
   const double rate = cluster_.machine.node_gflops * 1e9 * cluster_.machine.svd_efficiency;

@@ -1,12 +1,28 @@
 #include "linalg/gemm.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <vector>
+
+#include "support/thread_pool.hpp"
 
 namespace tt::linalg {
 
 namespace {
+
+using support::openmp_allowed;
+
+// Half-open range overlap on raw addresses (std::uintptr_t: comparing
+// unrelated pointers directly is unspecified).
+bool ranges_overlap(const real_t* a, index_t na, const real_t* b, index_t nb) {
+  if (na <= 0 || nb <= 0) return false;
+  const auto a0 = reinterpret_cast<std::uintptr_t>(a);
+  const auto a1 = reinterpret_cast<std::uintptr_t>(a + na);
+  const auto b0 = reinterpret_cast<std::uintptr_t>(b);
+  const auto b1 = reinterpret_cast<std::uintptr_t>(b + nb);
+  return a0 < b1 && b0 < a1;
+}
 
 // Kernel blocking parameters: a (kMc x kKc) A-panel and (kKc x n) B-panel fit
 // comfortably in L2; the inner i-k-j loop vectorizes over j.
@@ -18,7 +34,7 @@ constexpr index_t kKc = 256;
 void gemm_nn(index_t m, index_t n, index_t k, real_t alpha, const real_t* a,
              const real_t* b, real_t* c) {
   const index_t num_panels = (m + kMc - 1) / kMc;
-#pragma omp parallel for schedule(dynamic, 1) if (m * n * k > (index_t{1} << 16))
+#pragma omp parallel for schedule(dynamic, 1) if (m * n * k > (index_t{1} << 16) && openmp_allowed())
   for (index_t panel = 0; panel < num_panels; ++panel) {
     const index_t i0 = panel * kMc;
     const index_t i1 = std::min(i0 + kMc, m);
@@ -41,7 +57,7 @@ void gemm_nn(index_t m, index_t n, index_t k, real_t alpha, const real_t* a,
 std::vector<real_t> transpose_buffer(const real_t* x, index_t r, index_t c) {
   std::vector<real_t> t(static_cast<std::size_t>(r * c));
   constexpr index_t kBlock = 32;
-#pragma omp parallel for collapse(2) schedule(static) if (r * c > (index_t{1} << 16))
+#pragma omp parallel for collapse(2) schedule(static) if (r * c > (index_t{1} << 16) && openmp_allowed())
   for (index_t ib = 0; ib < (r + kBlock - 1) / kBlock; ++ib)
     for (index_t jb = 0; jb < (c + kBlock - 1) / kBlock; ++jb) {
       const index_t ie = std::min((ib + 1) * kBlock, r);
@@ -58,7 +74,7 @@ void scale_inplace(real_t* c, index_t count, real_t beta) {
     std::memset(c, 0, static_cast<std::size_t>(count) * sizeof(real_t));
     return;
   }
-#pragma omp parallel for schedule(static) if (count > (index_t{1} << 16))
+#pragma omp parallel for schedule(static) if (count > (index_t{1} << 16) && openmp_allowed())
   for (index_t i = 0; i < count; ++i) c[i] *= beta;
 }
 
@@ -67,6 +83,12 @@ void scale_inplace(real_t* c, index_t count, real_t beta) {
 void gemm_raw(bool transa, bool transb, index_t m, index_t n, index_t k,
               real_t alpha, const real_t* a, const real_t* b, real_t beta,
               real_t* c) {
+  // BLAS forbids aliased output: scale_inplace rewrites c before the multiply
+  // reads a/b, so overlap would corrupt the operands silently.
+  TT_CHECK(!ranges_overlap(c, m * n, a, m * k),
+           "gemm output aliases operand A");
+  TT_CHECK(!ranges_overlap(c, m * n, b, k * n),
+           "gemm output aliases operand B");
   scale_inplace(c, m * n, beta);
   if (m == 0 || n == 0) return;
   if (k == 0 || alpha == 0.0) return;
@@ -113,12 +135,14 @@ Matrix matmul(bool transa, bool transb, const Matrix& a, const Matrix& b) {
 
 void gemv(index_t m, index_t n, real_t alpha, const real_t* a, const real_t* x,
           real_t beta, real_t* y) {
-#pragma omp parallel for schedule(static) if (m * n > (index_t{1} << 16))
+#pragma omp parallel for schedule(static) if (m * n > (index_t{1} << 16) && openmp_allowed())
   for (index_t i = 0; i < m; ++i) {
     real_t s = 0.0;
     const real_t* ai = a + i * n;
     for (index_t j = 0; j < n; ++j) s += ai[j] * x[j];
-    y[i] = alpha * s + beta * y[i];
+    // BLAS semantics: beta == 0 overwrites without reading y, which may hold
+    // NaN or uninitialized garbage that 0*y would propagate.
+    y[i] = (beta == 0.0) ? alpha * s : alpha * s + beta * y[i];
   }
 }
 

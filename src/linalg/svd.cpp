@@ -190,8 +190,10 @@ index_t svd_rank(const std::vector<real_t>& s, real_t cutoff, index_t max_keep) 
     if (v <= cutoff) break;
     ++keep;
   }
-  keep = std::min(keep, max_keep);
+  // Floor before clamping: the "never empty the bond" rule must not override
+  // an explicit max_keep == 0 truncation request.
   if (keep == 0 && !s.empty()) keep = 1;
+  keep = std::min(keep, max_keep);
   return keep;
 }
 

@@ -29,9 +29,10 @@ SvdResult svd(const Matrix& a);
 /// Flop estimate for the SVD of an m×n matrix (LAPACK-style 14·m·n² model).
 double svd_flops(index_t m, index_t n);
 
-/// Number of trailing singular values with s[i] <= cutoff, given a cap on the
-/// number kept. Returns the kept count r' = min(max_keep, #{s > cutoff}), at
-/// least 1 when any singular value exists (DMRG must keep a nonzero bond).
+/// Kept count under truncation: r' = min(max_keep, max(1, #{s > cutoff}))
+/// when s is non-empty, else 0. The keep-at-least-one floor (DMRG must keep a
+/// nonzero bond) applies before the cap, so an explicit max_keep == 0 request
+/// wins and returns 0.
 index_t svd_rank(const std::vector<real_t>& s, real_t cutoff, index_t max_keep);
 
 }  // namespace tt::linalg

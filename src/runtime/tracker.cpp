@@ -46,7 +46,38 @@ CostTracker CostTracker::diff(const CostTracker& start) const {
   return d;
 }
 
+void CostTracker::merge(const CostTracker& other) {
+  for (int i = 0; i < kNumCategories; ++i) time_[i] += other.time_[i];
+  flops_ += other.flops_;
+  words_ += other.words_;
+  supersteps_ += other.supersteps_;
+}
+
 void CostTracker::reset() { *this = CostTracker(); }
+
+CostTrackerShards::CostTrackerShards(int num_shards) {
+  TT_CHECK(num_shards >= 1, "need at least one tracker shard");
+  slots_.resize(static_cast<std::size_t>(num_shards));
+}
+
+CostTracker& CostTrackerShards::shard(int i) {
+  TT_CHECK(i >= 0 && i < num_shards(), "tracker shard " << i << " out of range");
+  return slots_[static_cast<std::size_t>(i)].tracker;
+}
+
+void CostTrackerShards::merge_into(CostTracker& target) const {
+  for (const Slot& s : slots_) target.merge(s.tracker);
+}
+
+CostTracker CostTrackerShards::merged() const {
+  CostTracker t;
+  merge_into(t);
+  return t;
+}
+
+void CostTrackerShards::reset() {
+  for (Slot& s : slots_) s.tracker.reset();
+}
 
 std::string CostTracker::summary() const {
   std::ostringstream os;

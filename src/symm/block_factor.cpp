@@ -6,6 +6,7 @@
 
 #include "linalg/qr.hpp"
 #include "linalg/svd.hpp"
+#include "support/thread_pool.hpp"
 #include "tensor/dense.hpp"
 
 namespace tt::symm {
@@ -260,20 +261,27 @@ BlockTensor BlockSvd::s_times_vt() const {
 }
 
 BlockSvd block_svd(const BlockTensor& a, const std::vector<int>& row_modes,
-                   const TruncParams& trunc) {
+                   const TruncParams& trunc, int num_threads) {
   const std::vector<int> col_modes = complement_modes(a, row_modes);
   const std::vector<Group> groups = build_groups(a, row_modes, col_modes);
   TT_CHECK(!groups.empty(), "cannot SVD a block tensor with no blocks");
 
-  // Factor each group independently.
-  std::vector<linalg::SvdResult> factors;
-  factors.reserve(groups.size());
+  // Factor each group independently, in parallel on the executor pool: every
+  // slot of `factors`/`shapes` is written by exactly one task and all
+  // downstream reductions (truncation pooling, scatter) run serially in group
+  // order, so the result is thread-count independent.
+  std::vector<linalg::SvdResult> factors(groups.size());
   BlockSvd out;
-  for (const Group& grp : groups) {
-    const linalg::Matrix m = assemble(a, grp, row_modes, col_modes);
-    factors.push_back(linalg::svd(m));
-    out.shapes.push_back({m.rows(), m.cols()});
-  }
+  out.shapes.resize(groups.size());
+  support::parallel_for(
+      static_cast<index_t>(groups.size()),
+      [&](index_t gi) {
+        const auto g = static_cast<std::size_t>(gi);
+        const linalg::Matrix m = assemble(a, groups[g], row_modes, col_modes);
+        out.shapes[g] = {m.rows(), m.cols()};
+        factors[g] = linalg::svd(m);
+      },
+      num_threads);
 
   // Global truncation: pool all singular values, keep the largest subject to
   // cutoff and bond cap (paper §II.C).

@@ -67,7 +67,10 @@ struct BlockSvd {
   /// Vᵀ with singular values multiplied into the bond (center moves left).
   BlockTensor s_times_vt() const;
 };
+/// `num_threads` caps the executor threads factoring quantum-number groups
+/// concurrently: 0 = the global TT_THREADS setting, 1 = serial. Results are
+/// identical at any value.
 BlockSvd block_svd(const BlockTensor& a, const std::vector<int>& row_modes,
-                   const TruncParams& trunc = {});
+                   const TruncParams& trunc = {}, int num_threads = 0);
 
 }  // namespace tt::symm

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "support/thread_pool.hpp"
 #include "tensor/einsum.hpp"
 
 namespace tt::symm {
@@ -52,9 +53,32 @@ ContractPlan make_contract_plan(const BlockTensor& a, const BlockTensor& b,
   return plan;
 }
 
+namespace {
+
+// One block pair awaiting contraction.
+struct PairWork {
+  const tensor::DenseTensor* ablk = nullptr;
+  const tensor::DenseTensor* bblk = nullptr;
+};
+
+// All pairs contributing to one output block. A bin is the unit of parallel
+// work: exactly one executor thread touches `result`, accumulating its pairs
+// in the fixed enumeration order, so the per-block reduction is
+// deterministic; results are inserted into the output tensor serially in bin
+// order after the parallel region.
+struct Bin {
+  std::vector<PairWork> pairs;
+  tensor::DenseTensor result;
+  std::vector<BlockOpCost> ops;  // pair-enumeration order
+  double flops = 0.0;
+  double permuted_words = 0.0;
+};
+
+}  // namespace
+
 BlockTensor contract(const BlockTensor& a, const BlockTensor& b,
                      const std::vector<std::pair<int, int>>& pairs,
-                     ContractStats* stats) {
+                     ContractStats* stats, const ContractOptions& opts) {
   const ContractPlan plan = make_contract_plan(a, b, pairs);
   BlockTensor c(plan.out_indices, plan.out_flux);
 
@@ -69,7 +93,13 @@ BlockTensor contract(const BlockTensor& a, const BlockTensor& b,
     b_groups[ck].push_back(&kv);
   }
 
-  // --- Algorithm 2 main loop --------------------------------------------------
+  // --- bin the Algorithm 2 pair list by output block key ----------------------
+  // Enumeration order (A blocks in key order, then B's group order) fixes both
+  // the bin order and the within-bin accumulation order; neither depends on
+  // the thread count.
+  std::map<BlockKey, std::size_t> bin_of;
+  std::vector<BlockKey> bin_keys;
+  std::vector<Bin> bins;
   for (const auto& [akey, ablk] : a.blocks()) {
     ConKey ck(pairs.size());
     for (std::size_t t = 0; t < pairs.size(); ++t)
@@ -77,28 +107,62 @@ BlockTensor contract(const BlockTensor& a, const BlockTensor& b,
     auto git = b_groups.find(ck);
     if (git == b_groups.end()) continue;
     for (const auto* bkv : git->second) {
-      const BlockKey& bkey = bkv->first;
-      const tensor::DenseTensor& bblk = bkv->second;
-
-      tensor::EinsumStats es;
-      tensor::DenseTensor cblk = tensor::einsum(plan.spec, ablk, bblk, &es);
-
       BlockKey ckey;
       ckey.reserve(plan.free_a.size() + plan.free_b.size());
       for (int m : plan.free_a) ckey.push_back(akey[static_cast<std::size_t>(m)]);
-      for (int m : plan.free_b) ckey.push_back(bkey[static_cast<std::size_t>(m)]);
-      c.accumulate(ckey, std::move(cblk));
-
-      if (stats) {
-        stats->total_flops += es.flops;
-        stats->permuted_words += es.permuted_words;
-        BlockOpCost op;
-        op.flops = es.flops;
-        op.words_a = static_cast<double>(ablk.size());
-        op.words_b = static_cast<double>(bblk.size());
-        op.words_c = static_cast<double>(es.m) * static_cast<double>(es.n);
-        stats->block_ops.push_back(op);
+      for (int m : plan.free_b)
+        ckey.push_back(bkv->first[static_cast<std::size_t>(m)]);
+      auto [it, inserted] = bin_of.try_emplace(std::move(ckey), bins.size());
+      if (inserted) {
+        bin_keys.push_back(it->first);
+        bins.emplace_back();
       }
+      bins[it->second].pairs.push_back({&ablk, &bkv->second});
+    }
+  }
+
+  const bool collect_ops = stats != nullptr;
+  auto run_bin = [&](index_t bi) {
+    Bin& bin = bins[static_cast<std::size_t>(bi)];
+    bool first = true;
+    for (const PairWork& pw : bin.pairs) {
+      tensor::EinsumStats es;
+      tensor::DenseTensor cblk = tensor::einsum(plan.spec, *pw.ablk, *pw.bblk, &es);
+      if (first) {
+        bin.result = std::move(cblk);
+        first = false;
+      } else {
+        bin.result.axpy(1.0, cblk);
+      }
+
+      BlockOpCost op;
+      op.flops = es.flops;
+      op.words_a = static_cast<double>(pw.ablk->size());
+      op.words_b = static_cast<double>(pw.bblk->size());
+      op.words_c = static_cast<double>(es.m) * static_cast<double>(es.n);
+      bin.flops += es.flops;
+      bin.permuted_words += es.permuted_words;
+      if (collect_ops) bin.ops.push_back(op);
+      if (opts.block_hook) opts.block_hook(op);
+    }
+  };
+  support::parallel_for(static_cast<index_t>(bins.size()), run_bin,
+                        opts.num_threads);
+
+  // Serial insertion in bin order (every bin has >= 1 pair, so every result
+  // is populated); accumulate() shape-checks each block against the output
+  // structure.
+  for (std::size_t bi = 0; bi < bins.size(); ++bi)
+    c.accumulate(bin_keys[bi], std::move(bins[bi].result));
+
+  // Deterministic cross-bin reduction: merge in bin order.
+  if (stats) {
+    stats->num_bins += static_cast<int>(bins.size());
+    for (Bin& bin : bins) {
+      stats->total_flops += bin.flops;
+      stats->permuted_words += bin.permuted_words;
+      stats->block_ops.insert(stats->block_ops.end(), bin.ops.begin(),
+                              bin.ops.end());
     }
   }
   return c;

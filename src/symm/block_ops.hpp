@@ -4,8 +4,17 @@
 // each pair with the dense einsum kernel, and accumulates results into the
 // output block keyed by the remaining labels. Per-block-pair costs are
 // reported so the list engine can charge the Table II cost model block-wise.
+//
+// Execution is thread-parallel: the block-pair list is binned by output block
+// key, bins run concurrently on the shared work-stealing pool
+// (support/thread_pool.hpp, TT_THREADS knob), and each bin accumulates its
+// output block in the fixed pair-enumeration order. Because every output
+// block is owned by exactly one bin and all cross-bin reductions (stats)
+// merge in bin order, results and stats are bitwise identical at any thread
+// count — including the serial path.
 #pragma once
 
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -26,6 +35,21 @@ struct ContractStats {
   double total_flops = 0.0;
   double permuted_words = 0.0;
   std::vector<BlockOpCost> block_ops;  ///< one entry per block pair contracted
+  int num_bins = 0;  ///< distinct output blocks touched (executor bin count)
+};
+
+/// Execution knobs of the parallel block-contraction executor.
+struct ContractOptions {
+  /// Executor threads for this contraction: 0 = the global TT_THREADS
+  /// setting (support::num_threads()), 1 = serial. Never affects results.
+  int num_threads = 0;
+
+  /// Optional per-block-pair hook, invoked as each pair finishes — possibly
+  /// concurrently from executor threads and in no deterministic order. Sinks
+  /// must be thread-safe (e.g. rt::CostTrackerShards keyed by
+  /// support::execution_slot()). Deterministic aggregates should be read from
+  /// ContractStats instead, which merges in fixed bin order.
+  std::function<void(const BlockOpCost&)> block_hook;
 };
 
 /// Validated structural plan of a block contraction, shared by the list
@@ -45,9 +69,12 @@ ContractPlan make_contract_plan(const BlockTensor& a, const BlockTensor& b,
 /// Contract `a` with `b` over the given (modeA, modeB) pairs. Contracted leg
 /// pairs must be contractible (equal sector lists, opposite directions).
 /// Output indices: free modes of `a` in order, then free modes of `b`;
-/// output flux = flux(a) + flux(b).
+/// output flux = flux(a) + flux(b). Bins of block pairs sharing an output
+/// block execute concurrently per `opts`; results are bitwise identical at
+/// any thread count.
 BlockTensor contract(const BlockTensor& a, const BlockTensor& b,
                      const std::vector<std::pair<int, int>>& pairs,
-                     ContractStats* stats = nullptr);
+                     ContractStats* stats = nullptr,
+                     const ContractOptions& opts = {});
 
 }  // namespace tt::symm

@@ -11,8 +11,11 @@
 
 #include "linalg/gemm.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace tt::tensor {
+
+using support::openmp_allowed;
 
 namespace {
 
@@ -322,7 +325,7 @@ SparseTensor einsum_ss(const std::string& spec_str, const SparseTensor& a,
       static_cast<std::size_t>(nthreads));
   std::vector<double> partial_flops(static_cast<std::size_t>(nthreads), 0.0);
 
-#pragma omp parallel for schedule(dynamic, 8) if (groups.size() > 16)
+#pragma omp parallel for schedule(dynamic, 8) if (groups.size() > 16 && openmp_allowed())
   for (std::size_t g = 0; g < groups.size(); ++g) {
 #ifdef _OPENMP
     auto& acc = partial[static_cast<std::size_t>(omp_get_thread_num())];
@@ -403,7 +406,7 @@ DenseTensor einsum_sd(const std::string& spec_str, const SparseTensor& a,
   double flops = 0.0;
   const std::size_t ngroups = starts.empty() ? 0 : starts.size() - 1;
 #pragma omp parallel for schedule(dynamic, 4) reduction(+ : flops) \
-    if (ngroups > 8 && tmp.size() > (index_t{1} << 14))
+    if (ngroups > 8 && tmp.size() > (index_t{1} << 14) && openmp_allowed())
   for (std::size_t gi = 0; gi < ngroups; ++gi) {
     real_t* crow = tmp.data() + es[starts[gi]].row * n;
     for (std::size_t e = starts[gi]; e < starts[gi + 1]; ++e) {
@@ -479,7 +482,7 @@ DenseTensor einsum_ds(const std::string& spec_str, const DenseTensor& a,
   const index_t m = p.m, n = p.n, k = p.k;
   double flops = 0.0;
 #pragma omp parallel for schedule(static) reduction(+ : flops) \
-    if (m > 4 && static_cast<double>(m) * static_cast<double>(es.size()) > 1e5)
+    if (m > 4 && static_cast<double>(m) * static_cast<double>(es.size()) > 1e5 && openmp_allowed())
   for (index_t r = 0; r < m; ++r) {
     const real_t* arow = apm->data() + r * k;
     real_t* crow = tmp.data() + r * n;

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <tuple>
+#include <vector>
 
 #include "linalg/gemm.hpp"
 #include "support/rng.hpp"
@@ -95,6 +98,24 @@ TEST(Gemm, OutputShapeMismatchThrows) {
   EXPECT_THROW(tt::linalg::gemm(false, false, 1.0, a, b, 0.0, c), tt::Error);
 }
 
+TEST(Gemm, AliasedOutputThrows) {
+  Rng rng(11);
+  Matrix a = Matrix::random(4, 4, rng);
+  Matrix b = Matrix::random(4, 4, rng);
+  // c aliasing either operand would be silently corrupted by the beta scaling
+  // pass before the multiply reads it.
+  EXPECT_THROW(tt::linalg::gemm(false, false, 1.0, a, b, 0.0, a), tt::Error);
+  EXPECT_THROW(tt::linalg::gemm(false, false, 1.0, a, b, 0.0, b), tt::Error);
+  EXPECT_THROW(
+      tt::linalg::gemm_raw(false, false, 4, 4, 4, 1.0, a.data(), b.data(), 0.0,
+                           a.data()),
+      tt::Error);
+  // Partial overlap is rejected too, not just exact pointer equality.
+  EXPECT_THROW(tt::linalg::gemm_raw(false, false, 2, 2, 2, 1.0, a.data(),
+                                    b.data(), 0.0, a.data() + 1),
+               tt::Error);
+}
+
 TEST(Gemv, MatchesGemm) {
   Rng rng(12);
   Matrix a = Matrix::random(7, 9, rng);
@@ -103,6 +124,34 @@ TEST(Gemv, MatchesGemm) {
   tt::linalg::gemv(7, 9, 1.0, a.data(), x.data(), 0.0, y.data());
   Matrix ref = tt::linalg::matmul(a, x);
   for (index_t i = 0; i < 7; ++i) EXPECT_NEAR(y[static_cast<std::size_t>(i)], ref(i, 0), 1e-12);
+}
+
+TEST(Gemv, BetaZeroOverwritesWithoutReadingY) {
+  // BLAS semantics: beta == 0 must not read y — NaN-poisoned or
+  // uninitialized output must be overwritten, not propagated via 0 * NaN.
+  Rng rng(13);
+  Matrix a = Matrix::random(5, 6, rng);
+  Matrix x = Matrix::random(6, 1, rng);
+  std::vector<double> y(5, std::numeric_limits<double>::quiet_NaN());
+  tt::linalg::gemv(5, 6, 2.0, a.data(), x.data(), 0.0, y.data());
+  Matrix ref = tt::linalg::matmul(a, x);
+  for (index_t i = 0; i < 5; ++i) {
+    ASSERT_FALSE(std::isnan(y[static_cast<std::size_t>(i)])) << "row " << i;
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], 2.0 * ref(i, 0), 1e-12);
+  }
+}
+
+TEST(Gemv, NonzeroBetaStillAccumulates) {
+  Rng rng(14);
+  Matrix a = Matrix::random(3, 4, rng);
+  Matrix x = Matrix::random(4, 1, rng);
+  std::vector<double> y{1.0, -2.0, 3.0};
+  const std::vector<double> y0 = y;
+  tt::linalg::gemv(3, 4, 1.0, a.data(), x.data(), 0.5, y.data());
+  Matrix ref = tt::linalg::matmul(a, x);
+  for (index_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)],
+                ref(i, 0) + 0.5 * y0[static_cast<std::size_t>(i)], 1e-12);
 }
 
 TEST(Gemm, FlopCount) {

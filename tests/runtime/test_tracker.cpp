@@ -2,6 +2,7 @@
 
 #include "runtime/tracker.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -69,6 +70,65 @@ TEST(Tracker, ResetClearsEverything) {
   t.reset();
   EXPECT_DOUBLE_EQ(t.total_time(), 0.0);
   EXPECT_DOUBLE_EQ(t.flops(), 0.0);
+}
+
+TEST(Tracker, MergeAddsEverything) {
+  CostTracker a, b;
+  a.add_time(Category::kGemm, 1.0);
+  a.add_flops(10.0);
+  b.add_time(Category::kGemm, 2.0);
+  b.add_time(Category::kComm, 4.0);
+  b.add_words(3.0);
+  b.add_supersteps(2.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.time(Category::kGemm), 3.0);
+  EXPECT_DOUBLE_EQ(a.time(Category::kComm), 4.0);
+  EXPECT_DOUBLE_EQ(a.flops(), 10.0);
+  EXPECT_DOUBLE_EQ(a.words(), 3.0);
+  EXPECT_DOUBLE_EQ(a.supersteps(), 2.0);
+}
+
+TEST(TrackerShards, MergedEqualsSerialAccumulation) {
+  tt::rt::CostTrackerShards shards(4);
+  // The same charges applied shard-wise and serially must agree.
+  CostTracker serial;
+  for (int i = 0; i < 100; ++i) {
+    const double t = 0.001 * i;
+    shards.shard(i % 4).add_time(Category::kGemm, t);
+    shards.shard(i % 4).add_flops(2.0 * i);
+    serial.add_time(Category::kGemm, t);
+    serial.add_flops(2.0 * i);
+  }
+  const CostTracker merged = shards.merged();
+  EXPECT_NEAR(merged.time(Category::kGemm), serial.time(Category::kGemm), 1e-12);
+  EXPECT_NEAR(merged.flops(), serial.flops(), 1e-9);
+
+  CostTracker target;
+  target.add_words(5.0);
+  shards.merge_into(target);
+  EXPECT_NEAR(target.flops(), serial.flops(), 1e-9);
+  EXPECT_DOUBLE_EQ(target.words(), 5.0);
+
+  shards.reset();
+  EXPECT_DOUBLE_EQ(shards.merged().total_time(), 0.0);
+}
+
+TEST(TrackerShards, ConcurrentChargingIsSafe) {
+  tt::rt::CostTrackerShards shards(8);
+  tt::support::parallel_for(
+      10000,
+      [&](tt::index_t) {
+        shards.shard(tt::support::execution_slot()).add_flops(1.0);
+      },
+      8);
+  EXPECT_DOUBLE_EQ(shards.merged().flops(), 10000.0);
+}
+
+TEST(TrackerShards, RejectsBadShardCounts) {
+  EXPECT_THROW(tt::rt::CostTrackerShards(0), tt::Error);
+  tt::rt::CostTrackerShards s(2);
+  EXPECT_THROW(s.shard(2), tt::Error);
+  EXPECT_THROW(s.shard(-1), tt::Error);
 }
 
 TEST(Tracker, CategoryNames) {

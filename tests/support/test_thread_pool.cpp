@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using tt::index_t;
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  tt::support::ThreadPool pool(3);
+  const index_t n = 10000;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  pool.parallel_for(n, 4, [&](index_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (index_t i = 0; i < n; ++i)
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, StealsWhenRangesAreImbalanced) {
+  // Participant 0 stalls on its first iteration; the rest of its range must
+  // be drained by stealing participants.
+  tt::support::ThreadPool pool(3);
+  std::atomic<int> slots_seen{0};
+  std::vector<std::atomic<bool>> seen(8);
+  pool.parallel_for(4000, 4, [&](index_t i) {
+    if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const int s = tt::support::execution_slot();
+    if (!seen[static_cast<std::size_t>(s)].exchange(true))
+      slots_seen.fetch_add(1);
+  });
+  EXPECT_GE(slots_seen.load(), 2);
+}
+
+TEST(ThreadPool, CallerParticipatesWithZeroWorkers) {
+  tt::support::ThreadPool pool(0);
+  std::atomic<index_t> sum{0};
+  pool.parallel_for(100, 8, [&](index_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 100 * 99 / 2);
+}
+
+TEST(ThreadPool, EmptyAndSingleIterationRunInline) {
+  tt::support::ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, 4, [&](index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, 4, [&](index_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  tt::support::ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(1000, 4,
+                                 [&](index_t i) {
+                                   if (i == 137) throw tt::Error("boom");
+                                 }),
+               tt::Error);
+  // Pool stays usable after an aborted loop.
+  std::atomic<int> count{0};
+  pool.parallel_for(64, 4, [&](index_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, NestedCallsRunInline) {
+  tt::support::ThreadPool pool(3);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(8, 4, [&](index_t) {
+    EXPECT_TRUE(tt::support::in_parallel_region());
+    // Nested parallel_for must not deadlock; it degrades to inline execution.
+    tt::support::parallel_for(4, [&](index_t) { inner_total.fetch_add(1); }, 4);
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+  EXPECT_FALSE(tt::support::in_parallel_region());
+}
+
+TEST(ThreadPool, ExecutionSlotIsZeroOutsideRegions) {
+  EXPECT_EQ(tt::support::execution_slot(), 0);
+  EXPECT_FALSE(tt::support::in_parallel_region());
+}
+
+TEST(ThreadPool, SetNumThreadsOverridesAndRestores) {
+  const int base = tt::support::num_threads();
+  EXPECT_GE(base, 1);
+  tt::support::set_num_threads(5);
+  EXPECT_EQ(tt::support::num_threads(), 5);
+  tt::support::set_num_threads(0);
+  EXPECT_EQ(tt::support::num_threads(), base);
+}
+
+TEST(ThreadPool, GlobalParallelForHonorsThreadCap) {
+  // threads=1 must run strictly serially on the calling thread.
+  std::set<int> slots;
+  tt::support::parallel_for(
+      64, [&](index_t) { slots.insert(tt::support::execution_slot()); }, 1);
+  EXPECT_EQ(slots.size(), 1u);
+
+  std::atomic<index_t> sum{0};
+  tt::support::parallel_for(256, [&](index_t i) { sum += i; }, 8);
+  EXPECT_EQ(sum.load(), 256 * 255 / 2);
+}
+
+}  // namespace
