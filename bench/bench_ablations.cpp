@@ -14,6 +14,7 @@
 #include "common.hpp"
 
 int main() {
+  tt::bench::print_driver_header("bench_ablations");
   using namespace tt;
 
   // (a) Davidson subspace ----------------------------------------------------

@@ -88,6 +88,7 @@ void panel(const char* title, const tt::rt::MachineModel& machine) {
 }  // namespace
 
 int main() {
+  tt::bench::print_driver_header("bench_fig10_pareto_spins");
   panel("Fig 10 (left) — spins relative time vs cost, Blue Waters",
         tt::rt::blue_waters());
   panel("Fig 10 (right) — spins relative time vs cost, Stampede2",

@@ -61,6 +61,7 @@ void panel(const char* title, const tt::rt::MachineModel& machine, int ppn) {
 }  // namespace
 
 int main() {
+  tt::bench::print_driver_header("bench_fig11_weak_scaling_electrons");
   panel("Fig 11 (left) — electrons weak scaling, Blue Waters (16/node)",
         tt::rt::blue_waters(), 16);
   panel("Fig 11 (right) — electrons weak scaling, Stampede2 (64/node)",

@@ -34,6 +34,7 @@ void panel(const char* title, const tt::rt::MachineModel& machine, int ppn,
 }  // namespace
 
 int main() {
+  tt::bench::print_driver_header("bench_fig12_strong_scaling_electrons");
   panel("Fig 12 (left) — electrons sparse-sparse strong scaling at fixed m, Blue Waters",
         tt::rt::blue_waters(), 16, 2);
   panel("Fig 12 (right) — electrons sparse-sparse strong scaling at fixed m, Stampede2",

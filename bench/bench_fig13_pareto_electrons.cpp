@@ -48,6 +48,7 @@ void panel(const char* title, const tt::rt::MachineModel& machine, int ppn) {
 }  // namespace
 
 int main() {
+  tt::bench::print_driver_header("bench_fig13_pareto_electrons");
   panel("Fig 13 (left) — electrons relative time vs cost, Blue Waters (16/node)",
         tt::rt::blue_waters(), 16);
   panel("Fig 13 (right) — electrons relative time vs cost, Stampede2 (64/node)",

@@ -70,6 +70,7 @@ double fit_exponent(const std::vector<Point>& pts) {
 }  // namespace
 
 int main() {
+  tt::bench::print_driver_header("bench_fig2_block_structure");
   using namespace tt;
   auto spins = bench::Workload::spins();
   auto electrons = bench::Workload::electrons();

@@ -6,6 +6,7 @@
 #include "common.hpp"
 
 int main() {
+  tt::bench::print_driver_header("bench_fig4_lattices");
   using namespace tt;
 
   std::cout << "(a) J1-J2 square cylinder (paper: 20x10; bench default 6x4)\n";

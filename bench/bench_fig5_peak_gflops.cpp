@@ -5,11 +5,51 @@
 //
 // Shape to reproduce: rate grows with m (bigger blocks feed the machine
 // better) and the optimal node count grows with m.
+//
+// Usage: bench_fig5_peak_gflops [--csv <path>]
+// The CSV records the host GEMM peak rows (backend, m, n, k, GFLOP/s) — the
+// first piece of the machine-readable artifact pipeline; the simulated panels
+// stay on stdout.
 #include <iostream>
 
 #include "common.hpp"
+#include "linalg/backend.hpp"
+#include "linalg/gemm.hpp"
+#include "support/timer.hpp"
 
 namespace {
+
+// Measured dgemm-equivalent throughput of this host through the active
+// backend: the paper's "peak rate" denominator, and the number the ≥2×
+// builtin-GEMM acceptance check reads (512³ row).
+void host_gemm_peak(tt::bench::Csv& csv) {
+  using namespace tt;
+  Table t("Host GEMM peak (this machine, active backend)");
+  t.header({"backend", "m", "n", "k", "GF/s"});
+  const struct {
+    index_t m, n, k;
+  } sizes[] = {{256, 256, 256}, {512, 512, 512}, {1024, 1024, 512}, {512, 2048, 128}};
+  for (const auto& s : sizes) {
+    Rng rng(5);
+    const auto a = linalg::Matrix::random(s.m, s.k, rng);
+    const auto b = linalg::Matrix::random(s.k, s.n, rng);
+    linalg::Matrix c(s.m, s.n);
+    linalg::gemm(false, false, 1.0, a, b, 0.0, c);  // warm-up
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      Timer timer;
+      linalg::gemm(false, false, 1.0, a, b, 0.0, c);
+      best = std::min(best, timer.seconds());
+    }
+    const double gfs = linalg::gemm_flops(s.m, s.n, s.k) / best / 1e9;
+    t.row({linalg::backend_name(), fmt_int(s.m), fmt_int(s.n), fmt_int(s.k),
+           fmt(gfs, 2)});
+    csv.row({linalg::backend_name(), std::to_string(s.m), std::to_string(s.n),
+             std::to_string(s.k), fmt(gfs, 3)});
+  }
+  t.print();
+  std::cout << "\n";
+}
 
 void panel(const char* title, const tt::bench::Workload& w,
            const std::vector<tt::dmrg::EngineKind>& kinds,
@@ -50,8 +90,14 @@ void panel(const char* title, const tt::bench::Workload& w,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tt;
+  bench::print_driver_header("bench_fig5_peak_gflops");
+  const std::string csv_file = bench::csv_path(argc, argv);
+  bench::Csv csv = csv_file.empty() ? bench::Csv()
+                                    : bench::Csv(csv_file, "backend,m,n,k,gflops");
+  host_gemm_peak(csv);
+
   auto spins = bench::Workload::spins();
   auto electrons = bench::Workload::electrons();
 

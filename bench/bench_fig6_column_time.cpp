@@ -9,6 +9,7 @@
 #include "support/timer.hpp"
 
 int main() {
+  tt::bench::print_driver_header("bench_fig6_column_time");
   using namespace tt;
   const int lx = 8, ly = bench::full_mode() ? 4 : 3;
   auto w = bench::Workload::spins(lx, ly);

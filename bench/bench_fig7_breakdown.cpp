@@ -25,6 +25,7 @@ std::vector<std::string> pct_row(const tt::rt::CostTracker& t) {
 }  // namespace
 
 int main() {
+  tt::bench::print_driver_header("bench_fig7_breakdown");
   using namespace tt;
   auto spins = bench::Workload::spins();
   auto electrons = bench::Workload::electrons();

@@ -10,6 +10,7 @@
 #include "common.hpp"
 
 int main() {
+  tt::bench::print_driver_header("bench_fig8_weak_scaling_spins");
   using namespace tt;
   auto spins = bench::Workload::spins();
   const auto ms = bench::spin_ms();

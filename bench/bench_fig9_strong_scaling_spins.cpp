@@ -9,6 +9,7 @@
 #include "common.hpp"
 
 int main() {
+  tt::bench::print_driver_header("bench_fig9_strong_scaling_spins");
   using namespace tt;
   auto spins = bench::Workload::spins();
   const index_t m = bench::spin_ms().back();  // paper: m = 8192 fixed

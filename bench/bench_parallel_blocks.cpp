@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -56,6 +57,7 @@ bool bitwise_equal(const BlockTensor& x, const BlockTensor& y) {
 }  // namespace
 
 int main() {
+  tt::bench::print_driver_header("bench_parallel_blocks");
   using namespace tt;
 
   const int nsec = 13;

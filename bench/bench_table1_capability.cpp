@@ -10,6 +10,7 @@
 #include "common.hpp"
 
 int main() {
+  tt::bench::print_driver_header("bench_table1_capability");
   using namespace tt;
 
   Table t("Table I — parallel DMRG works (published values + this repository)");

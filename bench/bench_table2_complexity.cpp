@@ -11,6 +11,7 @@
 #include "common.hpp"
 
 int main() {
+  tt::bench::print_driver_header("bench_table2_complexity");
   using namespace tt;
   auto spins = bench::Workload::spins();
   auto electrons = bench::Workload::electrons();

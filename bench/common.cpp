@@ -1,14 +1,48 @@
 #include "common.hpp"
 
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
+#include "linalg/backend.hpp"
 #include "support/logging.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace tt::bench {
+
+void print_driver_header(const std::string& driver) {
+  std::cout << "[" << driver << "] linalg backend: " << linalg::backend_name()
+            << " | threads: " << support::num_threads()
+            << " | scale factor: " << scale_factor() << "\n\n";
+}
+
+std::string csv_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--csv") == 0) return argv[i + 1];
+  return "";
+}
+
+Csv::Csv(const std::string& path, const std::string& header) {
+  auto out = std::make_shared<std::ofstream>(path);
+  if (!*out) {
+    std::cerr << "warning: cannot open --csv path '" << path << "'\n";
+    return;
+  }
+  *out << header << "\n";
+  out_ = std::move(out);
+}
+
+void Csv::row(const std::vector<std::string>& cells) {
+  if (!out_) return;
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    *out_ << (i ? "," : "") << cells[i];
+  *out_ << "\n";
+  out_->flush();
+}
 
 Workload Workload::spins(int lx, int ly, double j2) {
   Workload w;
@@ -40,8 +74,10 @@ std::filesystem::path cache_dir() {
 std::string cache_key(const Workload& w, dmrg::EngineKind kind, index_t m,
                       unsigned seed) {
   std::ostringstream os;
-  os << "v3_" << w.name << "_" << dmrg::engine_name(kind) << "_m" << m << "_s"
-     << seed << ".txt";
+  // The backend is part of the key: wall_seconds (and hence every simulated
+  // rate derived from it) depends on which kernels executed the step.
+  os << "v4_" << linalg::backend_name() << "_" << w.name << "_"
+     << dmrg::engine_name(kind) << "_m" << m << "_s" << seed << ".txt";
   return os.str();
 }
 

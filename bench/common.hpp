@@ -9,6 +9,8 @@
 // figure benches share them.
 #pragma once
 
+#include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,29 @@
 #include "support/table.hpp"
 
 namespace tt::bench {
+
+/// Standard driver banner: driver name, active linalg backend, thread count,
+/// scale factor. Every bench main prints this first so any recorded output
+/// identifies the kernel configuration that produced it (figure
+/// reproductions must note the backend — see docs/BENCHMARKS.md).
+void print_driver_header(const std::string& driver);
+
+/// Value of a "--csv <path>" argument, or "" when absent.
+std::string csv_path(int argc, char** argv);
+
+/// Append-only CSV emitter for the artifact pipeline. Inactive (row() is a
+/// no-op) when constructed without a path; writes the header line on open.
+class Csv {
+ public:
+  Csv() = default;
+  Csv(const std::string& path, const std::string& header);
+
+  bool active() const { return out_ != nullptr; }
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  std::shared_ptr<std::ofstream> out_;
+};
 
 /// One benchmark system (the paper's "spins" or "electrons" workload).
 struct Workload {

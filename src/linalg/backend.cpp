@@ -1,0 +1,128 @@
+#include "linalg/backend.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "linalg/gemm.hpp"
+#include "support/error.hpp"
+
+namespace tt::linalg {
+
+namespace {
+
+// The "builtin" backend: the self-contained kernels of this directory. These
+// are the deterministic reference implementations — bitwise identical results
+// at any TT_THREADS (the PR-2 invariant the parallel block executor asserts).
+class BuiltinBackend final : public Backend {
+ public:
+  const char* name() const noexcept override { return "builtin"; }
+
+  void gemm(bool transa, bool transb, index_t m, index_t n, index_t k,
+            real_t alpha, const real_t* a, const real_t* b, real_t beta,
+            real_t* c) const override {
+    detail::builtin_gemm(transa, transb, m, n, k, alpha, a, b, beta, c);
+  }
+
+  void gemv(index_t m, index_t n, real_t alpha, const real_t* a,
+            const real_t* x, real_t beta, real_t* y) const override {
+    detail::builtin_gemv(m, n, alpha, a, x, beta, y);
+  }
+
+  SvdResult svd(const Matrix& a) const override { return detail::builtin_svd(a); }
+
+  QrResult qr(const Matrix& a) const override { return detail::builtin_qr(a); }
+
+  EigResult eigh(const Matrix& a) const override { return detail::builtin_eigh(a); }
+};
+
+const Backend* builtin_instance() {
+  static const BuiltinBackend b;
+  return &b;
+}
+
+// Name lookup over the backends compiled into this build.
+const Backend* lookup(const std::string& name) {
+  if (name == "builtin") return builtin_instance();
+#ifdef TT_WITH_BLAS
+  if (name == "blas") return detail::blas_backend_instance();
+#endif
+  return nullptr;
+}
+
+std::string joined_names() {
+  std::string out;
+  for (const std::string& n : available_backends()) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+// The active-backend slot. Starts empty and is resolved on first *use* (not
+// first selection): an invalid TT_BACKEND in the environment must not break
+// an explicit set_backend() call that precedes any kernel — the documented
+// precedence is set_backend() > TT_BACKEND > compiled default.
+std::atomic<const Backend*>& active_slot() {
+  static std::atomic<const Backend*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace
+
+namespace detail {
+
+const Backend& resolve_default_backend() {
+  if (const char* env = std::getenv("TT_BACKEND")) {
+    const Backend* p = lookup(env);
+    TT_CHECK(p != nullptr, "TT_BACKEND='" << env
+                                          << "' is not a linalg backend of this build"
+                                          << " (available: " << joined_names() << ")");
+    return *p;
+  }
+#ifdef TT_WITH_BLAS
+  return *blas_backend_instance();
+#else
+  return *builtin_instance();
+#endif
+}
+
+}  // namespace detail
+
+const Backend& backend() {
+  auto& slot = active_slot();
+  if (const Backend* p = slot.load(std::memory_order_acquire)) return *p;
+  // First use with no explicit selection: resolve the default. Concurrent
+  // first calls all resolve the same value; the CAS keeps whichever landed
+  // (including a racing set_backend, which must win over the default).
+  const Backend& resolved = detail::resolve_default_backend();
+  const Backend* expected = nullptr;
+  slot.compare_exchange_strong(expected, &resolved, std::memory_order_acq_rel);
+  return *slot.load(std::memory_order_acquire);
+}
+
+const char* backend_name() { return backend().name(); }
+
+void set_backend(const std::string& name) {
+  const Backend* p = lookup(name);
+  TT_CHECK(p != nullptr, "unknown linalg backend '"
+                             << name << "' (available: " << joined_names() << ")");
+  active_slot().store(p, std::memory_order_release);
+}
+
+std::vector<std::string> available_backends() {
+  std::vector<std::string> out{"builtin"};
+#ifdef TT_WITH_BLAS
+  out.push_back("blas");
+#endif
+  return out;
+}
+
+bool blas_backend_available() {
+#ifdef TT_WITH_BLAS
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace tt::linalg

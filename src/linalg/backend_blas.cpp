@@ -1,0 +1,245 @@
+// The "blas" linalg backend: vendor BLAS/LAPACK behind the Backend interface.
+//
+// Compiled only under -DTT_WITH_BLAS=ON (this TU is empty otherwise). The
+// Fortran-ABI symbols are declared directly — no cblas/lapacke headers — so
+// any LP64 implementation links: reference Netlib, OpenBLAS, BLIS+LAPACK,
+// MKL (lp64). Routing: gemm_raw → dgemm, gemv → dgemv, svd → dgesdd (with a
+// dgesvd fallback on non-convergence), qr → dgeqrf+dorgqr, eigh → dsyevd.
+//
+// Row-major adaptation: the library stores matrices row-major while Fortran
+// expects column-major. A row-major m×n buffer *is* its transpose in
+// column-major, so
+//   gemm  computes C_cm(n×m) = op(B)ᵀ·op(A)ᵀ by swapping the operand order,
+//   gemv  runs dgemv('T') on the n×m column-major view,
+//   svd   factors the column-major view Aᵀ = U'·S·V'ᵀ and returns U = V',
+//         Vᵀ = U'ᵀ — reading the Fortran outputs row-major performs both
+//         transpositions for free,
+//   qr/eigh copy through an explicit transpose (small against the O(n³) work).
+//
+// Determinism: results are reproducible at fixed TT_THREADS only per BLAS
+// library (and per its own thread count — pin OPENBLAS_NUM_THREADS /
+// OMP_NUM_THREADS for stable timings); the cross-thread-count bitwise
+// guarantee of the builtin backend is not promised here.
+#ifdef TT_WITH_BLAS
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "linalg/backend.hpp"
+#include "support/error.hpp"
+
+extern "C" {
+
+void dgemm_(const char* transa, const char* transb, const int* m, const int* n,
+            const int* k, const double* alpha, const double* a, const int* lda,
+            const double* b, const int* ldb, const double* beta, double* c,
+            const int* ldc);
+
+void dgemv_(const char* trans, const int* m, const int* n, const double* alpha,
+            const double* a, const int* lda, const double* x, const int* incx,
+            const double* beta, double* y, const int* incy);
+
+void dgesdd_(const char* jobz, const int* m, const int* n, double* a,
+             const int* lda, double* s, double* u, const int* ldu, double* vt,
+             const int* ldvt, double* work, const int* lwork, int* iwork,
+             int* info);
+
+void dgesvd_(const char* jobu, const char* jobvt, const int* m, const int* n,
+             double* a, const int* lda, double* s, double* u, const int* ldu,
+             double* vt, const int* ldvt, double* work, const int* lwork,
+             int* info);
+
+void dgeqrf_(const int* m, const int* n, double* a, const int* lda, double* tau,
+             double* work, const int* lwork, int* info);
+
+void dorgqr_(const int* m, const int* n, const int* k, double* a,
+             const int* lda, const double* tau, double* work, const int* lwork,
+             int* info);
+
+void dsyevd_(const char* jobz, const char* uplo, const int* n, double* a,
+             const int* lda, double* w, double* work, const int* lwork,
+             int* iwork, const int* liwork, int* info);
+
+}  // extern "C"
+
+namespace tt::linalg {
+
+namespace {
+
+// LAPACK/BLAS here is LP64: 32-bit Fortran INTEGER dimensions.
+int to_f(index_t v, const char* what) {
+  TT_CHECK(v >= 0 && v <= std::numeric_limits<int>::max(),
+           "dimension " << what << "=" << v << " exceeds the 32-bit Fortran "
+                        << "INTEGER range of the blas backend");
+  return static_cast<int>(v);
+}
+
+int query_to_lwork(real_t wkopt) {
+  // Workspace sizes come back as doubles; round up defensively.
+  return static_cast<int>(wkopt) + 1;
+}
+
+class BlasBackend final : public Backend {
+ public:
+  const char* name() const noexcept override { return "blas"; }
+
+  void gemm(bool transa, bool transb, index_t m, index_t n, index_t k,
+            real_t alpha, const real_t* a, const real_t* b, real_t beta,
+            real_t* c) const override {
+    const int mf = to_f(n, "n"), nf = to_f(m, "m"), kf = to_f(k, "k");
+    if (mf == 0 || nf == 0) return;
+    // First Fortran operand is op(B)ᵀ: the column-major view of the B buffer
+    // is already transposed, so the Fortran trans flag is our transb verbatim
+    // (and likewise for A).
+    const char ta = transb ? 'T' : 'N';
+    const char tb = transa ? 'T' : 'N';
+    const int lda = std::max(1, transb ? kf : mf);
+    const int ldb = std::max(1, transa ? nf : kf);
+    const int ldc = mf;
+    dgemm_(&ta, &tb, &mf, &nf, &kf, &alpha, b, &lda, a, &ldb, &beta, c, &ldc);
+  }
+
+  void gemv(index_t m, index_t n, real_t alpha, const real_t* a,
+            const real_t* x, real_t beta, real_t* y) const override {
+    if (m == 0) return;
+    if (n == 0) {
+      // Reference dgemv quick-returns on a zero inner dimension without
+      // applying beta; match the library contract (beta==0 overwrites).
+      for (index_t i = 0; i < m; ++i) y[i] = (beta == 0.0) ? 0.0 : beta * y[i];
+      return;
+    }
+    const char trans = 'T';
+    const int mf = to_f(n, "n"), nf = to_f(m, "m"), inc = 1;
+    dgemv_(&trans, &mf, &nf, &alpha, a, &mf, x, &inc, &beta, y, &inc);
+  }
+
+  SvdResult svd(const Matrix& a) const override {
+    const index_t m = a.rows(), n = a.cols(), r = std::min(m, n);
+    // Factor the column-major view Aᵀ (n×m): Aᵀ = U'·S·V'ᵀ means A's U is V'
+    // and A's Vᵀ is U'ᵀ, so the Fortran U output (n×r, ld n) read row-major
+    // is exactly out.vt (r×n) and the Fortran VT output (r×m, ld r) read
+    // row-major is exactly out.u (m×r).
+    const int mf = to_f(n, "n"), nf = to_f(m, "m"), rf = to_f(r, "min(m,n)");
+    SvdResult out;
+    out.s.assign(static_cast<std::size_t>(r), 0.0);
+    out.u = Matrix(m, r);
+    out.vt = Matrix(r, n);
+    std::vector<real_t> awork(a.data(), a.data() + m * n);
+    const char jobz = 'S';
+    int info = 0, lwork = -1;
+    real_t wkopt = 0.0;
+    std::vector<int> iwork(static_cast<std::size_t>(8 * r));
+    dgesdd_(&jobz, &mf, &nf, awork.data(), &mf, out.s.data(), out.vt.data(),
+            &mf, out.u.data(), &rf, &wkopt, &lwork, iwork.data(), &info);
+    TT_CHECK(info == 0, "dgesdd workspace query failed: info=" << info);
+    lwork = query_to_lwork(wkopt);
+    std::vector<real_t> work(static_cast<std::size_t>(lwork));
+    dgesdd_(&jobz, &mf, &nf, awork.data(), &mf, out.s.data(), out.vt.data(),
+            &mf, out.u.data(), &rf, work.data(), &lwork, iwork.data(), &info);
+    TT_CHECK(info >= 0, "dgesdd: illegal argument " << -info);
+    if (info > 0) {
+      // Divide-and-conquer occasionally fails to converge; retry with the
+      // unconditionally robust QR-iteration driver.
+      awork.assign(a.data(), a.data() + m * n);
+      const char jobu = 'S', jobvt = 'S';
+      lwork = -1;
+      dgesvd_(&jobu, &jobvt, &mf, &nf, awork.data(), &mf, out.s.data(),
+              out.vt.data(), &mf, out.u.data(), &rf, &wkopt, &lwork, &info);
+      TT_CHECK(info == 0, "dgesvd workspace query failed: info=" << info);
+      lwork = query_to_lwork(wkopt);
+      work.resize(static_cast<std::size_t>(lwork));
+      dgesvd_(&jobu, &jobvt, &mf, &nf, awork.data(), &mf, out.s.data(),
+              out.vt.data(), &mf, out.u.data(), &rf, work.data(), &lwork,
+              &info);
+      TT_CHECK(info == 0, "SVD did not converge (dgesdd then dgesvd): info="
+                              << info);
+    }
+    return out;
+  }
+
+  QrResult qr(const Matrix& a) const override {
+    const index_t m = a.rows(), n = a.cols(), r = std::min(m, n);
+    QrResult out{Matrix(m, r), Matrix(r, n)};
+    if (r == 0) return out;
+    // transposed() of a row-major matrix is byte-identical to the column-major
+    // layout dgeqrf expects (leading dimension m).
+    Matrix acm = a.transposed();
+    const int mf = to_f(m, "m"), nf = to_f(n, "n"), rf = to_f(r, "min(m,n)");
+    std::vector<real_t> tau(static_cast<std::size_t>(r));
+    int info = 0, lwork = -1;
+    real_t wkopt = 0.0;
+    dgeqrf_(&mf, &nf, acm.data(), &mf, tau.data(), &wkopt, &lwork, &info);
+    TT_CHECK(info == 0, "dgeqrf workspace query failed: info=" << info);
+    lwork = query_to_lwork(wkopt);
+    std::vector<real_t> work(static_cast<std::size_t>(lwork));
+    dgeqrf_(&mf, &nf, acm.data(), &mf, tau.data(), work.data(), &lwork, &info);
+    TT_CHECK(info == 0, "dgeqrf: illegal argument " << -info);
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i <= std::min(j, r - 1); ++i)
+        out.r(i, j) = acm.data()[j * m + i];
+    lwork = -1;
+    dorgqr_(&mf, &rf, &rf, acm.data(), &mf, tau.data(), &wkopt, &lwork, &info);
+    TT_CHECK(info == 0, "dorgqr workspace query failed: info=" << info);
+    lwork = query_to_lwork(wkopt);
+    work.resize(static_cast<std::size_t>(lwork));
+    dorgqr_(&mf, &rf, &rf, acm.data(), &mf, tau.data(), work.data(), &lwork,
+            &info);
+    TT_CHECK(info == 0, "dorgqr: illegal argument " << -info);
+    for (index_t i = 0; i < m; ++i)
+      for (index_t j = 0; j < r; ++j) out.q(i, j) = acm.data()[j * m + i];
+    return out;
+  }
+
+  EigResult eigh(const Matrix& a) const override {
+    const index_t n = a.rows();
+    EigResult out;
+    out.values.assign(static_cast<std::size_t>(n), 0.0);
+    out.vectors = Matrix(n, n);
+    if (n == 0) return out;
+    // Input is symmetric (validated by eigh()), so the row-major buffer is a
+    // valid column-major A up to round-off in the unread triangle.
+    std::vector<real_t> awork(a.data(), a.data() + n * n);
+    const int nf = to_f(n, "n");
+    const char jobz = 'V', uplo = 'L';
+    int info = 0, lwork = -1, liwork = -1, iwkopt = 0;
+    real_t wkopt = 0.0;
+    dsyevd_(&jobz, &uplo, &nf, awork.data(), &nf, out.values.data(), &wkopt,
+            &lwork, &iwkopt, &liwork, &info);
+    TT_CHECK(info == 0, "dsyevd workspace query failed: info=" << info);
+    lwork = query_to_lwork(wkopt);
+    liwork = iwkopt;
+    std::vector<real_t> work(static_cast<std::size_t>(lwork));
+    std::vector<int> iwork(static_cast<std::size_t>(liwork));
+    dsyevd_(&jobz, &uplo, &nf, awork.data(), &nf, out.values.data(),
+            work.data(), &lwork, iwork.data(), &liwork, &info);
+    TT_CHECK(info == 0, "dsyevd failed: info=" << info);
+    // Eigenvector columns arrive column-major; transpose into the row-major
+    // columns-of-vectors convention.
+    for (index_t c = 0; c < n; ++c)
+      for (index_t i = 0; i < n; ++i)
+        out.vectors(i, c) = awork[static_cast<std::size_t>(c * n + i)];
+    return out;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+const Backend* blas_backend_instance() {
+  static const BlasBackend b;
+  return &b;
+}
+
+}  // namespace detail
+
+}  // namespace tt::linalg
+
+#else  // !TT_WITH_BLAS
+
+// TT_WITH_BLAS=OFF: the dispatcher never references the blas instance and
+// this TU compiles empty (the declaration keeps it a valid translation unit).
+namespace tt::linalg {}
+
+#endif  // TT_WITH_BLAS

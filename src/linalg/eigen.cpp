@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "linalg/backend.hpp"
+
 namespace tt::linalg {
 
 EigResult eigh(const Matrix& a, real_t symmetry_tol) {
@@ -15,6 +17,14 @@ EigResult eigh(const Matrix& a, real_t symmetry_tol) {
     for (index_t j = i + 1; j < n; ++j)
       TT_CHECK(std::abs(a(i, j) - a(j, i)) <= symmetry_tol * scale,
                "eigh input not symmetric at (" << i << "," << j << ")");
+  return backend().eigh(a);
+}
+
+namespace detail {
+
+EigResult builtin_eigh(const Matrix& a) {
+  const index_t n = a.rows();
+  const real_t scale = std::max(a.max_abs(), real_t{1.0});
 
   Matrix b = a;
   Matrix v = Matrix::identity(n);
@@ -70,5 +80,7 @@ EigResult eigh(const Matrix& a, real_t symmetry_tol) {
   }
   return out;
 }
+
+}  // namespace detail
 
 }  // namespace tt::linalg

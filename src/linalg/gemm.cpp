@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "linalg/backend.hpp"
 #include "support/thread_pool.hpp"
 
 namespace tt::linalg {
@@ -24,48 +25,114 @@ bool ranges_overlap(const real_t* a, index_t na, const real_t* b, index_t nb) {
   return a0 < b1 && b0 < a1;
 }
 
-// Kernel blocking parameters: a (kMc x kKc) A-panel and (kKc x n) B-panel fit
-// comfortably in L2; the inner i-k-j loop vectorizes over j.
-constexpr index_t kMc = 64;
-constexpr index_t kKc = 256;
+// --- packed-panel, register-tiled GEMM ---------------------------------------
+//
+// BLIS-style blocking: for each (jc, pc) block, op(B) is packed once into
+// kNr-wide strips; kMc-row panels of op(A) are packed into kMr-tall strips
+// (alpha folded in) and swept by a kMr×kNr register-tile micro-kernel. The
+// packing reads op(A)/op(B) through their physical layout, so transposed
+// operands cost nothing extra — no transpose is ever materialized.
+//
+// Threads split the ic panel loop (disjoint C rows) while the pc loop stays
+// sequential, so every C element accumulates its k contributions in one fixed
+// order: results are bitwise identical at any thread count.
+constexpr index_t kMr = 4;     // register tile rows
+constexpr index_t kNr = 8;     // register tile cols (one or two vector widths)
+constexpr index_t kMc = 128;   // A panel rows   (A panel: kMc×kKc = 256 KB)
+constexpr index_t kKc = 256;   // shared k block
+constexpr index_t kNc = 2048;  // B panel cols   (B panel: kKc×kNc ≤ 4 MB)
 
-// Core kernel for C(m×n) += A(m×k) * B(k×n), all row-major, no transposes.
-// Parallelizes over row panels of C so threads never write the same cache line.
-void gemm_nn(index_t m, index_t n, index_t k, real_t alpha, const real_t* a,
-             const real_t* b, real_t* c) {
-  const index_t num_panels = (m + kMc - 1) / kMc;
-#pragma omp parallel for schedule(dynamic, 1) if (m * n * k > (index_t{1} << 16) && openmp_allowed())
-  for (index_t panel = 0; panel < num_panels; ++panel) {
-    const index_t i0 = panel * kMc;
-    const index_t i1 = std::min(i0 + kMc, m);
-    for (index_t k0 = 0; k0 < k; k0 += kKc) {
-      const index_t k1 = std::min(k0 + kKc, k);
-      for (index_t i = i0; i < i1; ++i) {
-        real_t* ci = c + i * n;
-        for (index_t kk = k0; kk < k1; ++kk) {
-          const real_t aik = alpha * a[i * k + kk];
-          if (aik == 0.0) continue;
-          const real_t* bk = b + kk * n;
-          for (index_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
-        }
-      }
-    }
+index_t round_up(index_t x, index_t q) { return (x + q - 1) / q * q; }
+
+// Pack alpha·op(A)[i0:i0+ib, pc:pc+kc] — one kMr-tall strip, k-major,
+// zero-padded past ib rows.
+void pack_a_strip(bool transa, const real_t* a, index_t m, index_t k,
+                  index_t i0, index_t ib, index_t pc, index_t kc, real_t alpha,
+                  real_t* ap) {
+  for (index_t kk = 0; kk < kc; ++kk) {
+    for (index_t i = 0; i < ib; ++i)
+      ap[kk * kMr + i] = alpha * (transa ? a[(pc + kk) * m + i0 + i]
+                                         : a[(i0 + i) * k + pc + kk]);
+    for (index_t i = ib; i < kMr; ++i) ap[kk * kMr + i] = 0.0;
   }
 }
 
-// Materialize the transpose of an r×c row-major buffer.
-std::vector<real_t> transpose_buffer(const real_t* x, index_t r, index_t c) {
-  std::vector<real_t> t(static_cast<std::size_t>(r * c));
-  constexpr index_t kBlock = 32;
-#pragma omp parallel for collapse(2) schedule(static) if (r * c > (index_t{1} << 16) && openmp_allowed())
-  for (index_t ib = 0; ib < (r + kBlock - 1) / kBlock; ++ib)
-    for (index_t jb = 0; jb < (c + kBlock - 1) / kBlock; ++jb) {
-      const index_t ie = std::min((ib + 1) * kBlock, r);
-      const index_t je = std::min((jb + 1) * kBlock, c);
-      for (index_t i = ib * kBlock; i < ie; ++i)
-        for (index_t j = jb * kBlock; j < je; ++j) t[j * r + i] = x[i * c + j];
+// Pack op(B)[pc:pc+kc, j0:j0+jb] — one kNr-wide strip, zero-padded past jb.
+void pack_b_strip(bool transb, const real_t* b, index_t k, index_t n,
+                  index_t pc, index_t j0, index_t jb, index_t kc, real_t* bp) {
+  for (index_t kk = 0; kk < kc; ++kk) {
+    for (index_t j = 0; j < jb; ++j)
+      bp[kk * kNr + j] = transb ? b[(j0 + j) * k + pc + kk]
+                                : b[(pc + kk) * n + j0 + j];
+    for (index_t j = jb; j < kNr; ++j) bp[kk * kNr + j] = 0.0;
+  }
+}
+
+// C[0:mb, 0:nb] += Σ_kk ap-strip(kk) ⊗ bp-strip(kk). The accumulator tile
+// lives in registers; padded lanes hold zeros and are simply not written back.
+void micro_kernel(index_t kc, const real_t* __restrict ap,
+                  const real_t* __restrict bp, real_t* __restrict c, index_t ldc,
+                  index_t mb, index_t nb) {
+  real_t acc[kMr][kNr] = {};
+  for (index_t kk = 0; kk < kc; ++kk) {
+    const real_t* av = ap + kk * kMr;
+    const real_t* bv = bp + kk * kNr;
+    for (index_t i = 0; i < kMr; ++i)
+      for (index_t j = 0; j < kNr; ++j) acc[i][j] += av[i] * bv[j];
+  }
+  for (index_t i = 0; i < mb; ++i)
+    for (index_t j = 0; j < nb; ++j) c[i * ldc + j] += acc[i][j];
+}
+
+// C += alpha·op(A)·op(B) for non-degenerate shapes (beta already applied).
+// Each (jc, pc) block runs three phases — pack B strips, pack A strips,
+// sweep (panel × column-strip) tiles — every one parallel over disjoint
+// writes, so parallelism scales with max(m/4, n/8, m·n/1024) rather than
+// m/128 alone, and results stay bitwise identical at any thread count.
+void gemm_packed(bool transa, bool transb, index_t m, index_t n, index_t k,
+                 real_t alpha, const real_t* a, const real_t* b, real_t* c) {
+  const index_t kc_max = std::min(kKc, k);
+  std::vector<real_t> bpack(
+      static_cast<std::size_t>(round_up(std::min(kNc, n), kNr) * kc_max));
+  std::vector<real_t> apack(static_cast<std::size_t>(round_up(m, kMr) * kc_max));
+  const index_t num_panels = (m + kMc - 1) / kMc;
+  const index_t num_astrips = (m + kMr - 1) / kMr;
+  [[maybe_unused]] const bool parallel =
+      m * n * k > (index_t{1} << 16) && openmp_allowed();
+  for (index_t jc = 0; jc < n; jc += kNc) {
+    const index_t nc = std::min(kNc, n - jc);
+    const index_t num_bstrips = (nc + kNr - 1) / kNr;
+    for (index_t pc = 0; pc < k; pc += kKc) {
+      const index_t kc = std::min(kKc, k - pc);
+#pragma omp parallel for schedule(static) if (parallel)
+      for (index_t s = 0; s < num_bstrips; ++s)
+        pack_b_strip(transb, b, k, n, pc, jc + s * kNr,
+                     std::min(kNr, nc - s * kNr), kc,
+                     bpack.data() + s * kc * kNr);
+#pragma omp parallel for schedule(static) if (parallel)
+      for (index_t s = 0; s < num_astrips; ++s)
+        pack_a_strip(transa, a, m, k, s * kMr, std::min(kMr, m - s * kMr), pc,
+                     kc, alpha, apack.data() + s * kc * kMr);
+      // One tile = one C row panel × one packed B strip, column-strip-minor:
+      // consecutive tiles reuse the same A panel (the L2-resident object)
+      // and stream the small B strips past it.
+      const index_t tiles = num_panels * num_bstrips;
+#pragma omp parallel for schedule(dynamic, 1) if (parallel)
+      for (index_t t = 0; t < tiles; ++t) {
+        const index_t panel = t / num_bstrips;
+        const index_t js = t % num_bstrips;
+        const index_t ic = panel * kMc;
+        const index_t mc = std::min(kMc, m - ic);
+        const index_t jr = js * kNr;
+        const index_t nb = std::min(kNr, nc - jr);
+        const real_t* bs = bpack.data() + js * kc * kNr;
+        for (index_t ir = 0; ir < mc; ir += kMr)
+          micro_kernel(kc, apack.data() + ((ic + ir) / kMr) * kc * kMr, bs,
+                       c + (ic + ir) * n + jc + jr, n, std::min(kMr, mc - ir),
+                       nb);
+      }
     }
-  return t;
+  }
 }
 
 void scale_inplace(real_t* c, index_t count, real_t beta) {
@@ -80,34 +147,41 @@ void scale_inplace(real_t* c, index_t count, real_t beta) {
 
 }  // namespace
 
+namespace detail {
+
+void builtin_gemm(bool transa, bool transb, index_t m, index_t n, index_t k,
+                  real_t alpha, const real_t* a, const real_t* b, real_t beta,
+                  real_t* c) {
+  scale_inplace(c, m * n, beta);
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+  gemm_packed(transa, transb, m, n, k, alpha, a, b, c);
+}
+
+void builtin_gemv(index_t m, index_t n, real_t alpha, const real_t* a,
+                  const real_t* x, real_t beta, real_t* y) {
+#pragma omp parallel for schedule(static) if (m * n > (index_t{1} << 16) && openmp_allowed())
+  for (index_t i = 0; i < m; ++i) {
+    real_t s = 0.0;
+    const real_t* ai = a + i * n;
+    for (index_t j = 0; j < n; ++j) s += ai[j] * x[j];
+    // BLAS semantics: beta == 0 overwrites without reading y, which may hold
+    // NaN or uninitialized garbage that 0*y would propagate.
+    y[i] = (beta == 0.0) ? alpha * s : alpha * s + beta * y[i];
+  }
+}
+
+}  // namespace detail
+
 void gemm_raw(bool transa, bool transb, index_t m, index_t n, index_t k,
               real_t alpha, const real_t* a, const real_t* b, real_t beta,
               real_t* c) {
-  // BLAS forbids aliased output: scale_inplace rewrites c before the multiply
+  // BLAS forbids aliased output: the beta pass rewrites c before the multiply
   // reads a/b, so overlap would corrupt the operands silently.
   TT_CHECK(!ranges_overlap(c, m * n, a, m * k),
            "gemm output aliases operand A");
   TT_CHECK(!ranges_overlap(c, m * n, b, k * n),
            "gemm output aliases operand B");
-  scale_inplace(c, m * n, beta);
-  if (m == 0 || n == 0) return;
-  if (k == 0 || alpha == 0.0) return;
-
-  // Normalize both operands to non-transposed row-major form; the O(mn+nk)
-  // copies are negligible against the O(mnk) multiply for the block sizes the
-  // DMRG workloads produce.
-  std::vector<real_t> abuf, bbuf;
-  const real_t* ap = a;
-  const real_t* bp = b;
-  if (transa) {
-    abuf = transpose_buffer(a, k, m);
-    ap = abuf.data();
-  }
-  if (transb) {
-    bbuf = transpose_buffer(b, n, k);
-    bp = bbuf.data();
-  }
-  gemm_nn(m, n, k, alpha, ap, bp, c);
+  backend().gemm(transa, transb, m, n, k, alpha, a, b, beta, c);
 }
 
 void gemm(bool transa, bool transb, real_t alpha, const Matrix& a,
@@ -135,15 +209,7 @@ Matrix matmul(bool transa, bool transb, const Matrix& a, const Matrix& b) {
 
 void gemv(index_t m, index_t n, real_t alpha, const real_t* a, const real_t* x,
           real_t beta, real_t* y) {
-#pragma omp parallel for schedule(static) if (m * n > (index_t{1} << 16) && openmp_allowed())
-  for (index_t i = 0; i < m; ++i) {
-    real_t s = 0.0;
-    const real_t* ai = a + i * n;
-    for (index_t j = 0; j < n; ++j) s += ai[j] * x[j];
-    // BLAS semantics: beta == 0 overwrites without reading y, which may hold
-    // NaN or uninitialized garbage that 0*y would propagate.
-    y[i] = (beta == 0.0) ? alpha * s : alpha * s + beta * y[i];
-  }
+  backend().gemv(m, n, alpha, a, x, beta, y);
 }
 
 }  // namespace tt::linalg

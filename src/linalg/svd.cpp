@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "linalg/backend.hpp"
 #include "linalg/gemm.hpp"
 #include "linalg/qr.hpp"
 #include "support/rng.hpp"
@@ -148,17 +149,23 @@ Matrix SvdResult::reconstruct() const {
 }
 
 SvdResult svd(const Matrix& a) {
-  const index_t m = a.rows();
-  const index_t n = a.cols();
-  if (m == 0 || n == 0) {
+  if (a.rows() == 0 || a.cols() == 0) {
     SvdResult out;
-    out.u = Matrix(m, std::min(m, n));
-    out.vt = Matrix(std::min(m, n), n);
+    out.u = Matrix(a.rows(), std::min(a.rows(), a.cols()));
+    out.vt = Matrix(std::min(a.rows(), a.cols()), a.cols());
     return out;
   }
+  return backend().svd(a);
+}
+
+namespace detail {
+
+SvdResult builtin_svd(const Matrix& a) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
   if (m < n) {
     // SVD of the transpose, then swap factors: A = (V')·S·(U')ᵀ.
-    SvdResult t = svd(a.transposed());
+    SvdResult t = builtin_svd(a.transposed());
     SvdResult out;
     out.s = std::move(t.s);
     out.u = t.vt.transposed();
@@ -167,7 +174,7 @@ SvdResult svd(const Matrix& a) {
   }
   if (m > n) {
     // QR preprocessing: Jacobi on the small n×n R factor only.
-    QrResult f = qr(a);
+    QrResult f = builtin_qr(a);
     SvdResult inner = svd_tall(f.r);
     SvdResult out;
     out.s = std::move(inner.s);
@@ -177,6 +184,8 @@ SvdResult svd(const Matrix& a) {
   }
   return svd_tall(a);
 }
+
+}  // namespace detail
 
 double svd_flops(index_t m, index_t n) {
   const double lo = static_cast<double>(std::min(m, n));

@@ -1,9 +1,11 @@
-// Singular value decomposition via QR-preprocessed one-sided Jacobi.
+// Singular value decomposition (dispatched through linalg::Backend).
 //
 // Stands in for the ScaLAPACK pdgesvd the paper calls through Cyclops: every
-// block-wise SVD in the DMRG truncation step lands here. One-sided Jacobi is
-// chosen for its unconditional robustness and high relative accuracy on the
-// small-to-medium blocks quantum-number symmetry produces.
+// block-wise SVD in the DMRG truncation step lands here. svd() routes to the
+// active backend: the builtin QR-preprocessed one-sided Jacobi below (chosen
+// for its unconditional robustness and high relative accuracy on the
+// small-to-medium blocks quantum-number symmetry produces), or LAPACK dgesdd
+// (falling back to dgesvd on non-convergence) under TT_WITH_BLAS.
 #pragma once
 
 #include <vector>
@@ -34,5 +36,13 @@ double svd_flops(index_t m, index_t n);
 /// nonzero bond) applies before the cap, so an explicit max_keep == 0 request
 /// wins and returns 0.
 index_t svd_rank(const std::vector<real_t>& s, real_t cutoff, index_t max_keep);
+
+namespace detail {
+
+/// The self-contained QR-preprocessed Jacobi SVD behind the "builtin" backend.
+/// Requires a non-empty input; call svd() unless comparing backends directly.
+SvdResult builtin_svd(const Matrix& a);
+
+}  // namespace detail
 
 }  // namespace tt::linalg

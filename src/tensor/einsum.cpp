@@ -195,34 +195,50 @@ EinsumSpec EinsumSpec::parse(const std::string& spec) {
   return out;
 }
 
+// Concatenation of two mode lists (the matricized [rows, cols] orders).
+std::vector<int> concat(const std::vector<int>& x, const std::vector<int>& y) {
+  std::vector<int> out = x;
+  out.insert(out.end(), y.begin(), y.end());
+  return out;
+}
+
 DenseTensor einsum(const std::string& spec_str, const DenseTensor& a,
                    const DenseTensor& b, EinsumStats* stats) {
   const EinsumSpec spec = EinsumSpec::parse(spec_str);
   const Plan p = make_plan(spec, a.shape(), b.shape());
 
+  // Operand lowering: GEMM wants op(A) = [free_a, con_a] and op(B) =
+  // [con_b, free_b]. When an operand already stores those groups contiguous
+  // and in order — either directly or with the two groups swapped — hand GEMM
+  // the buffer as-is with the matching trans flag instead of materializing a
+  // permuted copy (the packed kernel and dgemm absorb transposes for free).
   double permuted = 0.0;
-  std::vector<int> pa = p.free_a;
-  pa.insert(pa.end(), p.con_a.begin(), p.con_a.end());
-  std::vector<int> pb = p.con_b;
-  pb.insert(pb.end(), p.free_b.begin(), p.free_b.end());
-
+  bool transa = false, transb = false;
   const DenseTensor* ap = &a;
   const DenseTensor* bp = &b;
   DenseTensor a_work, b_work;
-  if (!is_identity(pa)) {
-    a_work = a.permuted(pa);
+  if (is_identity(concat(p.free_a, p.con_a))) {
+    // already op(A); nothing to do
+  } else if (is_identity(concat(p.con_a, p.free_a))) {
+    transa = true;  // physical layout is op(A)ᵀ = [con_a, free_a]
+  } else {
+    a_work = a.permuted(concat(p.free_a, p.con_a));
     ap = &a_work;
     permuted += static_cast<double>(a.size());
   }
-  if (!is_identity(pb)) {
-    b_work = b.permuted(pb);
+  if (is_identity(concat(p.con_b, p.free_b))) {
+    // already op(B)
+  } else if (is_identity(concat(p.free_b, p.con_b))) {
+    transb = true;  // physical layout is op(B)ᵀ = [free_b, con_b]
+  } else {
+    b_work = b.permuted(concat(p.con_b, p.free_b));
     bp = &b_work;
     permuted += static_cast<double>(b.size());
   }
 
   DenseTensor tmp(p.tmp_shape);
-  linalg::gemm_raw(false, false, p.m, p.n, p.k, 1.0, ap->data(), bp->data(), 0.0,
-                   tmp.data());
+  linalg::gemm_raw(transa, transb, p.m, p.n, p.k, 1.0, ap->data(), bp->data(),
+                   0.0, tmp.data());
 
   DenseTensor out;
   if (p.cperm_identity) {
@@ -234,6 +250,7 @@ DenseTensor einsum(const std::string& spec_str, const DenseTensor& a,
   if (stats) {
     stats->flops += linalg::gemm_flops(p.m, p.n, p.k);
     stats->permuted_words += permuted;
+    stats->lowered_transposes += (transa ? 1 : 0) + (transb ? 1 : 0);
     stats->m = p.m;
     stats->n = p.n;
     stats->k = p.k;

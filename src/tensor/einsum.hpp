@@ -4,7 +4,9 @@
 // like "akb,bscd->aksc" names each mode with one character; labels shared by
 // both inputs and absent from the output are summed. Execution follows CTF:
 // permute operands into matrix layout, GEMM (or an SpGEMM-style kernel for
-// sparse operands), permute the result back.
+// sparse operands), permute the result back. Operand permutations that are a
+// pure matrix transpose skip the copy entirely: they lower to the gemm_raw
+// transa/transb flags, which the backends absorb for free.
 //
 // Restrictions (checked): no repeated label within one operand (no traces) and
 // no label present in both inputs *and* the output (no batch/Hadamard modes).
@@ -30,6 +32,10 @@ struct EinsumSpec {
 struct EinsumStats {
   double flops = 0.0;           ///< 2·(scalar multiplies)
   double permuted_words = 0.0;  ///< elements moved by layout permutations
+  /// Operands whose permutation was a pure matrix transpose and lowered to a
+  /// gemm_raw trans flag instead of a materialized copy (dense path); such
+  /// operands do not contribute to permuted_words.
+  int lowered_transposes = 0;
   index_t m = 0, n = 0, k = 0;  ///< matricized GEMM dimensions (dense path)
 };
 

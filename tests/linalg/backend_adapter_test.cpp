@@ -1,0 +1,146 @@
+// Validates the row-major ↔ column-major adapter inside the "blas" backend
+// against the builtin kernels, using the hermetic Fortran stubs in
+// lapack_stub.cpp instead of a vendor library (see that file's header). Built
+// only when TT_WITH_BLAS=OFF — vendor builds run the real parity suite in
+// test_backend.cpp instead.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "linalg/backend.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using tt::Rng;
+using tt::index_t;
+using tt::linalg::Matrix;
+
+const tt::linalg::Backend& adapter() {
+  return *tt::linalg::detail::blas_backend_instance();
+}
+
+constexpr double kTol = 1e-10;
+
+void expect_close(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  EXPECT_LT(tt::linalg::max_abs_diff(a, b), kTol * (1.0 + b.max_abs())) << what;
+}
+
+TEST(BlasAdapter, GemmMatchesBuiltinAcrossTransposes) {
+  Rng rng(31);
+  const struct {
+    index_t m, n, k;
+    bool ta, tb;
+  } cases[] = {{1, 1, 1, false, false}, {5, 7, 9, false, false},
+               {13, 6, 21, true, false}, {8, 17, 5, false, true},
+               {9, 11, 14, true, true},  {2, 30, 1, true, false}};
+  for (const auto& c : cases) {
+    Matrix a = c.ta ? Matrix::random(c.k, c.m, rng) : Matrix::random(c.m, c.k, rng);
+    Matrix b = c.tb ? Matrix::random(c.n, c.k, rng) : Matrix::random(c.k, c.n, rng);
+    Matrix c0 = Matrix::random(c.m, c.n, rng);
+    Matrix want = c0;
+    Matrix got = c0;
+    tt::linalg::detail::builtin_gemm(c.ta, c.tb, c.m, c.n, c.k, 1.25, a.data(),
+                                     b.data(), -2.0, want.data());
+    adapter().gemm(c.ta, c.tb, c.m, c.n, c.k, 1.25, a.data(), b.data(), -2.0,
+                   got.data());
+    expect_close(got, want, "gemm");
+  }
+}
+
+TEST(BlasAdapter, GemvMatchesBuiltin) {
+  Rng rng(32);
+  for (index_t m : {1, 6, 23}) {
+    for (index_t n : {1, 8, 17}) {
+      Matrix a = Matrix::random(m, n, rng);
+      Matrix x = Matrix::random(n, 1, rng);
+      std::vector<double> want(static_cast<std::size_t>(m));
+      for (auto& v : want) v = rng.normal();
+      std::vector<double> got = want;
+      tt::linalg::detail::builtin_gemv(m, n, 1.5, a.data(), x.data(), 0.5,
+                                       want.data());
+      adapter().gemv(m, n, 1.5, a.data(), x.data(), 0.5, got.data());
+      for (index_t i = 0; i < m; ++i)
+        EXPECT_NEAR(got[static_cast<std::size_t>(i)],
+                    want[static_cast<std::size_t>(i)], kTol);
+    }
+  }
+}
+
+TEST(BlasAdapter, GemvZeroInnerDimensionAppliesBeta) {
+  std::vector<double> y{3.0, -4.0};
+  adapter().gemv(2, 0, 1.0, nullptr, nullptr, 0.5, y.data());
+  EXPECT_DOUBLE_EQ(y[0], 1.5);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+  adapter().gemv(2, 0, 1.0, nullptr, nullptr, 0.0, y.data());
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+TEST(BlasAdapter, SvdMatchesBuiltin) {
+  Rng rng(33);
+  const std::pair<index_t, index_t> shapes[] = {{1, 1}, {5, 5}, {12, 7}, {7, 12}};
+  for (auto [m, n] : shapes) {
+    Matrix a = Matrix::random(m, n, rng);
+    const auto want = tt::linalg::detail::builtin_svd(a);
+    const auto got = adapter().svd(a);
+    ASSERT_EQ(got.s.size(), want.s.size());
+    for (std::size_t i = 0; i < got.s.size(); ++i)
+      EXPECT_NEAR(got.s[i], want.s[i], kTol * (1.0 + want.s[0]));
+    expect_close(got.reconstruct(), a, "svd reconstruction");
+    expect_close(tt::linalg::matmul(true, false, got.u, got.u),
+                 Matrix::identity(got.u.cols()), "svd UᵀU");
+    expect_close(tt::linalg::matmul(false, true, got.vt, got.vt),
+                 Matrix::identity(got.vt.rows()), "svd VᵀV");
+  }
+}
+
+TEST(BlasAdapter, QrMatchesBuiltin) {
+  Rng rng(34);
+  const std::pair<index_t, index_t> shapes[] = {{1, 1}, {6, 6}, {14, 5}, {5, 14}};
+  for (auto [m, n] : shapes) {
+    Matrix a = Matrix::random(m, n, rng);
+    const auto f = adapter().qr(a);
+    ASSERT_EQ(f.q.rows(), m);
+    ASSERT_EQ(f.q.cols(), std::min(m, n));
+    ASSERT_EQ(f.r.rows(), std::min(m, n));
+    ASSERT_EQ(f.r.cols(), n);
+    expect_close(tt::linalg::matmul(f.q, f.r), a, "QR reconstruction");
+    expect_close(tt::linalg::matmul(true, false, f.q, f.q),
+                 Matrix::identity(f.q.cols()), "QᵀQ");
+    for (index_t i = 0; i < f.r.rows(); ++i)
+      for (index_t j = 0; j < std::min(i, f.r.cols()); ++j)
+        EXPECT_EQ(f.r(i, j), 0.0);
+  }
+}
+
+TEST(BlasAdapter, EighMatchesBuiltin) {
+  Rng rng(35);
+  for (index_t n : {1, 5, 18}) {
+    Matrix g = Matrix::random(n, n, rng);
+    Matrix a = tt::linalg::matmul(false, true, g, g);
+    const auto want = tt::linalg::detail::builtin_eigh(a);
+    const auto got = adapter().eigh(a);
+    ASSERT_EQ(got.values.size(), want.values.size());
+    const double scale = 1.0 + std::abs(want.values.back());
+    for (std::size_t i = 0; i < got.values.size(); ++i)
+      EXPECT_NEAR(got.values[i], want.values[i], kTol * scale);
+    Matrix av = tt::linalg::matmul(a, got.vectors);
+    Matrix vw = got.vectors;
+    for (index_t i = 0; i < n; ++i)
+      for (index_t j = 0; j < n; ++j)
+        vw(i, j) *= got.values[static_cast<std::size_t>(j)];
+    expect_close(av, vw, "eigh residual");
+  }
+}
+
+}  // namespace

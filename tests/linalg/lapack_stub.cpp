@@ -1,0 +1,177 @@
+// Hermetic Fortran-ABI BLAS/LAPACK stand-ins for backend_adapter_test.
+//
+// Each routine implements the *documented* column-major semantics of its
+// LAPACK/BLAS namesake, delegating the numerics to the builtin kernels. The
+// adapter test links backend_blas.cpp against these instead of a vendor
+// library, so the row-major ↔ column-major translation layer is validated in
+// every build — including TT_WITH_BLAS=OFF ones — while true vendor parity
+// runs in the CI blas job.
+//
+// Implementations transcribe the reference netlib interface contracts; they
+// must NOT mirror backend_blas.cpp's reasoning, or the test would only prove
+// internal consistency.
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "linalg/eigen.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+
+namespace {
+
+using tt::index_t;
+using tt::linalg::Matrix;
+
+// Row-major Matrix from a column-major Fortran buffer.
+Matrix from_colmajor(const double* a, int rows, int cols, int lda) {
+  Matrix m(rows, cols);
+  for (int j = 0; j < cols; ++j)
+    for (int i = 0; i < rows; ++i) m(i, j) = a[j * lda + i];
+  return m;
+}
+
+void to_colmajor(const Matrix& m, double* a, int lda) {
+  for (index_t j = 0; j < m.cols(); ++j)
+    for (index_t i = 0; i < m.rows(); ++i)
+      a[j * lda + i] = m(i, j);
+}
+
+// dgeqrf stashes its Q here for the following dorgqr (real LAPACK encodes it
+// in reflectors + tau; the adapter treats those as opaque, so a stash keyed
+// by the factored buffer is an equivalent contract).
+std::map<const double*, Matrix>& qr_stash() {
+  static std::map<const double*, Matrix> stash;
+  return stash;
+}
+
+}  // namespace
+
+extern "C" {
+
+// C(m×n) := alpha·op(A)·op(B) + beta·C, all column-major.
+void dgemm_(const char* transa, const char* transb, const int* m, const int* n,
+            const int* k, const double* alpha, const double* a, const int* lda,
+            const double* b, const int* ldb, const double* beta, double* c,
+            const int* ldc) {
+  const bool ta = *transa == 'T' || *transa == 't';
+  const bool tb = *transb == 'T' || *transb == 't';
+  for (int j = 0; j < *n; ++j)
+    for (int i = 0; i < *m; ++i) {
+      double s = 0.0;
+      for (int l = 0; l < *k; ++l)
+        s += (ta ? a[i * *lda + l] : a[l * *lda + i]) *
+             (tb ? b[l * *ldb + j] : b[j * *ldb + l]);
+      double& cij = c[j * *ldc + i];
+      cij = (*beta == 0.0) ? *alpha * s : *alpha * s + *beta * cij;
+    }
+}
+
+// y := alpha·op(A)·x + beta·y, A (m×n) column-major.
+void dgemv_(const char* trans, const int* m, const int* n, const double* alpha,
+            const double* a, const int* lda, const double* x, const int* incx,
+            const double* beta, double* y, const int* incy) {
+  const bool t = *trans == 'T' || *trans == 't';
+  const int rows = t ? *n : *m;
+  const int cols = t ? *m : *n;
+  for (int i = 0; i < rows; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < cols; ++j)
+      s += (t ? a[i * *lda + j] : a[j * *lda + i]) * x[j * *incx];
+    double& yi = y[i * *incy];
+    yi = (*beta == 0.0) ? *alpha * s : *alpha * s + *beta * yi;
+  }
+}
+
+// Thin SVD of column-major A (m×n), jobz='S': U (m×r, ld ldu), s descending,
+// VT (r×n, ld ldvt). A is destroyed.
+void dgesdd_(const char* jobz, const int* m, const int* n, double* a,
+             const int* lda, double* s, double* u, const int* ldu, double* vt,
+             const int* ldvt, double* work, const int* lwork, int* iwork,
+             int* info) {
+  (void)jobz;
+  (void)iwork;
+  *info = 0;
+  if (*lwork == -1) {
+    work[0] = 1.0;
+    return;
+  }
+  const Matrix arm = from_colmajor(a, *m, *n, *lda);
+  const auto f = tt::linalg::detail::builtin_svd(arm);
+  std::copy(f.s.begin(), f.s.end(), s);
+  to_colmajor(f.u, u, *ldu);
+  to_colmajor(f.vt, vt, *ldvt);
+}
+
+void dgesvd_(const char* jobu, const char* jobvt, const int* m, const int* n,
+             double* a, const int* lda, double* s, double* u, const int* ldu,
+             double* vt, const int* ldvt, double* work, const int* lwork,
+             int* info) {
+  (void)jobu;
+  (void)jobvt;
+  dgesdd_("S", m, n, a, lda, s, u, ldu, vt, ldvt, work, lwork, nullptr, info);
+}
+
+// QR of column-major A (m×n): R lands in the upper triangle of A; the
+// reflector representation of Q is stashed for dorgqr.
+void dgeqrf_(const int* m, const int* n, double* a, const int* lda, double* tau,
+             double* work, const int* lwork, int* info) {
+  (void)tau;
+  *info = 0;
+  if (*lwork == -1) {
+    work[0] = 1.0;
+    return;
+  }
+  const Matrix arm = from_colmajor(a, *m, *n, *lda);
+  auto f = tt::linalg::detail::builtin_qr(arm);
+  for (index_t i = 0; i < f.r.rows(); ++i)
+    for (index_t j = i; j < f.r.cols(); ++j) a[j * *lda + i] = f.r(i, j);
+  qr_stash()[a] = std::move(f.q);
+}
+
+// Overwrites the first n columns of A with the explicit Q from the preceding
+// dgeqrf of the same buffer.
+void dorgqr_(const int* m, const int* n, const int* k, double* a,
+             const int* lda, const double* tau, double* work, const int* lwork,
+             int* info) {
+  (void)m;
+  (void)n;
+  (void)k;
+  (void)tau;
+  *info = 0;
+  if (*lwork == -1) {
+    work[0] = 1.0;
+    return;
+  }
+  auto it = qr_stash().find(a);
+  if (it == qr_stash().end()) {
+    *info = -1;  // no matching dgeqrf: adapter called out of order
+    return;
+  }
+  to_colmajor(it->second, a, *lda);
+  qr_stash().erase(it);
+}
+
+// Symmetric eigendecomposition of column-major A (n×n), jobz='V': eigenvalues
+// ascending in w, eigenvector columns overwrite A.
+void dsyevd_(const char* jobz, const char* uplo, const int* n, double* a,
+             const int* lda, double* w, double* work, const int* lwork,
+             int* iwork, const int* liwork, int* info) {
+  (void)jobz;
+  (void)uplo;
+  *info = 0;
+  if (*lwork == -1 || *liwork == -1) {
+    work[0] = 1.0;
+    iwork[0] = 1;
+    return;
+  }
+  const Matrix arm = from_colmajor(a, *n, *n, *lda);
+  const auto e = tt::linalg::detail::builtin_eigh(arm);
+  std::copy(e.values.begin(), e.values.end(), w);
+  to_colmajor(e.vectors, a, *lda);
+}
+
+}  // extern "C"

@@ -2,9 +2,15 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 #include <tuple>
 #include <vector>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "linalg/backend.hpp"
 #include "linalg/gemm.hpp"
 #include "support/rng.hpp"
 
@@ -56,7 +62,15 @@ INSTANTIATE_TEST_SUITE_P(
         GemmCase{70, 40, 90, true, false}, GemmCase{5, 3, 4, false, true},
         GemmCase{70, 40, 90, false, true}, GemmCase{6, 7, 8, true, true},
         GemmCase{90, 110, 70, true, true}, GemmCase{1, 200, 1, false, false},
-        GemmCase{200, 1, 64, false, false}));
+        GemmCase{200, 1, 64, false, false},
+        // Packed micro-kernel edges: one off either side of the register tile
+        // (4×8), the panel blocks (128 rows, 256 k, 2048 cols), and shapes
+        // that leave partially filled zero-padded tiles in every corner.
+        GemmCase{4, 8, 4, false, false}, GemmCase{5, 9, 3, false, false},
+        GemmCase{3, 7, 5, false, false}, GemmCase{127, 255, 129, false, false},
+        GemmCase{129, 9, 257, false, false}, GemmCase{130, 2049, 2, false, false},
+        GemmCase{5, 9, 257, true, false}, GemmCase{129, 7, 31, false, true},
+        GemmCase{131, 9, 258, true, true}));
 
 TEST(Gemm, AlphaBetaAccumulate) {
   Rng rng(9);
@@ -156,6 +170,59 @@ TEST(Gemv, NonzeroBetaStillAccumulates) {
 
 TEST(Gemm, FlopCount) {
   EXPECT_DOUBLE_EQ(tt::linalg::gemm_flops(2, 3, 4), 48.0);
+}
+
+TEST(Gemm, BuiltinPropagatesNanThroughZeroEntries) {
+  // The old loop nest skipped k-steps where a(i,k) == 0, silently turning
+  // 0 · NaN into 0; the packed kernel follows IEEE/BLAS arithmetic, so a NaN
+  // anywhere in a contributing B row must reach the output.
+  const std::string saved = tt::linalg::backend_name();
+  tt::linalg::set_backend("builtin");
+  Matrix a(2, 2);  // row 0 = [0, 1], row 1 = [1, 0]
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  Matrix b(2, 2, 1.0);
+  b(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  Matrix c(2, 2);
+  tt::linalg::gemm(false, false, 1.0, a, b, 0.0, c);
+  EXPECT_TRUE(std::isnan(c(1, 0)));  // 1·NaN + 0·1
+  EXPECT_TRUE(std::isnan(c(0, 0)));  // 0·NaN + 1·1: no zero-skipping shortcut
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 1.0);
+  tt::linalg::set_backend(saved);
+}
+
+TEST(Gemm, BuiltinBitwiseDeterministicAcrossThreadCounts) {
+  // The PR-2 invariant, at the kernel level: the packed GEMM partitions only
+  // disjoint C row panels across threads and keeps every element's k-order
+  // fixed, so results are bitwise identical at any thread count. The kernel
+  // threads via OpenMP, so that is the knob varied here (no-op serial builds
+  // still check repeatability).
+  const std::string saved = tt::linalg::backend_name();
+  tt::linalg::set_backend("builtin");
+  Rng rng(77);
+  Matrix a = Matrix::random(300, 130, rng);  // 3 row panels at kMc = 128
+  Matrix b = Matrix::random(130, 90, rng);
+#ifdef _OPENMP
+  const int saved_threads = omp_get_max_threads();
+#endif
+  auto run_with_threads = [&](int threads) {
+#ifdef _OPENMP
+    omp_set_num_threads(threads);
+#else
+    (void)threads;
+#endif
+    return tt::linalg::matmul(a, b);
+  };
+  Matrix c1 = run_with_threads(1);
+  Matrix c2 = run_with_threads(2);
+  Matrix c8 = run_with_threads(8);
+#ifdef _OPENMP
+  omp_set_num_threads(saved_threads);
+#endif
+  EXPECT_TRUE(c1 == c2);
+  EXPECT_TRUE(c1 == c8);
+  tt::linalg::set_backend(saved);
 }
 
 }  // namespace

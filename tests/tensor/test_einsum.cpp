@@ -57,7 +57,15 @@ INSTANTIATE_TEST_SUITE_P(
         Case{"a,ab->b", {5}, {5, 3}}, Case{"ab,b->a", {3, 5}, {5}},
         Case{"a,a->", {9}, {9}},
         // dimension-1 modes
-        Case{"aib,bjc->aijc", {1, 4, 3}, {3, 5, 1}}));
+        Case{"aib,bjc->aijc", {1, 4, 3}, {3, 5, 1}},
+        // transpose-lowered operands: A stored [con, free] ...
+        Case{"ka,kb->ab", {7, 5}, {7, 6}},
+        Case{"kab,kc->abc", {7, 3, 4}, {7, 5}},
+        // ... B stored [free, con] ...
+        Case{"ak,bk->ab", {5, 7}, {6, 7}},
+        Case{"ak,bck->abc", {5, 7}, {3, 4, 7}},
+        // ... and both at once, multi-mode contracted group
+        Case{"klab,cdkl->abcd", {3, 2, 4, 5}, {2, 3, 3, 2}}));
 
 TEST(Einsum, StatsReportGemmDims) {
   Rng rng(1);
@@ -73,12 +81,26 @@ TEST(Einsum, StatsReportGemmDims) {
 
 TEST(Einsum, StatsCountPermutedWords) {
   Rng rng(2);
-  DenseTensor a = DenseTensor::random({4, 3}, rng);
-  DenseTensor b = DenseTensor::random({4, 5}, rng);
+  DenseTensor a = DenseTensor::random({4, 3, 2}, rng);
+  DenseTensor b = DenseTensor::random({3, 5}, rng);
   EinsumStats st;
-  // "ka,kb->ab": A needs permutation (a is free but trails k), C does not.
-  tt::tensor::einsum("ka,kb->ab", a, b, &st);
-  EXPECT_GT(st.permuted_words, 0.0);
+  // "akb,kc->abc": A's contracted mode is interleaved between its free modes,
+  // so no transpose lowering applies and A must be permuted; B is aligned.
+  tt::tensor::einsum("akb,kc->abc", a, b, &st);
+  EXPECT_DOUBLE_EQ(st.permuted_words, static_cast<double>(a.size()));
+  EXPECT_EQ(st.lowered_transposes, 0);
+}
+
+TEST(Einsum, PureTransposesLowerToGemmFlagsNotCopies) {
+  Rng rng(2);
+  DenseTensor a = DenseTensor::random({4, 3}, rng);
+  DenseTensor b = DenseTensor::random({5, 4}, rng);
+  EinsumStats st;
+  // "ka,bk->ab": A is stored [con, free] and B [free, con] — both are pure
+  // matrix transposes, handed to gemm as trans flags with zero words moved.
+  tt::tensor::einsum("ka,bk->ab", a, b, &st);
+  EXPECT_DOUBLE_EQ(st.permuted_words, 0.0);
+  EXPECT_EQ(st.lowered_transposes, 2);
 }
 
 TEST(Einsum, NoPermutationForAlignedSpec) {
