@@ -87,8 +87,12 @@ void panel(const char* title, const tt::rt::MachineModel& machine) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   tt::bench::print_driver_header("bench_fig10_pareto_spins");
+  if (tt::bench::distributed_mode(argc, argv, "bench_fig10_pareto_spins",
+                                  tt::bench::Workload::spins(),
+                                  tt::bench::spin_ms()))
+    return 0;
   panel("Fig 10 (left) — spins relative time vs cost, Blue Waters",
         tt::rt::blue_waters());
   panel("Fig 10 (right) — spins relative time vs cost, Stampede2",

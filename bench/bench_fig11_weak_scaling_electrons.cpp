@@ -60,8 +60,12 @@ void panel(const char* title, const tt::rt::MachineModel& machine, int ppn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   tt::bench::print_driver_header("bench_fig11_weak_scaling_electrons");
+  if (tt::bench::distributed_mode(argc, argv, "bench_fig11_weak_scaling_electrons",
+                                  tt::bench::Workload::electrons(),
+                                  tt::bench::electron_ms()))
+    return 0;
   panel("Fig 11 (left) — electrons weak scaling, Blue Waters (16/node)",
         tt::rt::blue_waters(), 16);
   panel("Fig 11 (right) — electrons weak scaling, Stampede2 (64/node)",

@@ -33,8 +33,12 @@ void panel(const char* title, const tt::rt::MachineModel& machine, int ppn,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   tt::bench::print_driver_header("bench_fig12_strong_scaling_electrons");
+  if (tt::bench::distributed_mode(argc, argv, "bench_fig12_strong_scaling_electrons",
+                                  tt::bench::Workload::electrons(),
+                                  tt::bench::electron_ms()))
+    return 0;
   panel("Fig 12 (left) — electrons sparse-sparse strong scaling at fixed m, Blue Waters",
         tt::rt::blue_waters(), 16, 2);
   panel("Fig 12 (right) — electrons sparse-sparse strong scaling at fixed m, Stampede2",

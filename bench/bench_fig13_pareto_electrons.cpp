@@ -47,8 +47,12 @@ void panel(const char* title, const tt::rt::MachineModel& machine, int ppn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   tt::bench::print_driver_header("bench_fig13_pareto_electrons");
+  if (tt::bench::distributed_mode(argc, argv, "bench_fig13_pareto_electrons",
+                                  tt::bench::Workload::electrons(),
+                                  tt::bench::electron_ms()))
+    return 0;
   panel("Fig 13 (left) — electrons relative time vs cost, Blue Waters (16/node)",
         tt::rt::blue_waters(), 16);
   panel("Fig 13 (right) — electrons relative time vs cost, Stampede2 (64/node)",

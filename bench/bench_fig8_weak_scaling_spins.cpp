@@ -9,12 +9,18 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   tt::bench::print_driver_header("bench_fig8_weak_scaling_spins");
   using namespace tt;
   auto spins = bench::Workload::spins();
   const auto ms = bench::spin_ms();
+  if (bench::distributed_mode(argc, argv, "bench_fig8_weak_scaling_spins",
+                              spins, ms))
+    return 0;
   const auto base = bench::baseline(spins, rt::blue_waters(), ms.front());
+  bench::Csv csv(bench::csv_path(argc, argv),
+                 "driver,workload,source,panel,m_equiv,nodes,ppn,gf_per_node,"
+                 "rel_efficiency");
 
   {
     Table t("Fig 8a — weak scaling, fixed m/node (list, Blue Waters)");
@@ -25,9 +31,13 @@ int main() {
         auto k = bench::measure_step(spins, dmrg::EngineKind::kList, m);
         const double secs = bench::sim_seconds(k, bench::cluster(rt::blue_waters(), nodes, ppn));
         const double per_node = bench::gflops_equiv(k.flops, secs) / nodes;
+        const double rel =
+            per_node / bench::gflops_equiv(base.flops, base.sim_seconds);
         t.row({fmt_int(bench::m_equiv(k.m_actual)), std::to_string(nodes), std::to_string(ppn),
-               fmt(per_node, 1),
-               fmt(per_node / bench::gflops_equiv(base.flops, base.sim_seconds), 2)});
+               fmt(per_node, 1), fmt(rel, 2)});
+        csv.row({"bench_fig8_weak_scaling_spins", spins.name, "replayed", "8a",
+                 std::to_string(bench::m_equiv(k.m_actual)), std::to_string(nodes),
+                 std::to_string(ppn), fmt(per_node, 4), fmt(rel, 4)});
         nodes *= 2;
       }
     }
@@ -53,6 +63,9 @@ int main() {
         }
         t.row({std::to_string(nodes), std::to_string(ppn), fmt(best, 2),
                fmt_int(best_m)});
+        csv.row({"bench_fig8_weak_scaling_spins", spins.name, "replayed", "8b",
+                 std::to_string(best_m), std::to_string(nodes), std::to_string(ppn),
+                 "", fmt(best, 4)});
       }
     }
     t.print();

@@ -8,13 +8,18 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   tt::bench::print_driver_header("bench_fig9_strong_scaling_spins");
   using namespace tt;
   auto spins = bench::Workload::spins();
+  if (bench::distributed_mode(argc, argv, "bench_fig9_strong_scaling_spins",
+                              spins, bench::spin_ms()))
+    return 0;
   const index_t m = bench::spin_ms().back();  // paper: m = 8192 fixed
   auto k = bench::measure_step(spins, dmrg::EngineKind::kList, m);
 
+  bench::Csv csv(bench::csv_path(argc, argv),
+                 "driver,workload,source,m_equiv,ppn,nodes,sim_s,speedup,efficiency");
   Table t("Fig 9 — strong scaling, spins list at m(eq)=" + fmt_int(bench::m_equiv(k.m_actual)) +
           " (Blue Waters)");
   t.header({"ppn", "nodes", "sim s", "speedup", "efficiency"});
@@ -25,6 +30,10 @@ int main() {
       const double speedup = t1 / tn;
       t.row({std::to_string(ppn), std::to_string(nodes), fmt_sci(tn, 2),
              fmt(speedup, 2), fmt(speedup / nodes, 2)});
+      csv.row({"bench_fig9_strong_scaling_spins", spins.name, "replayed",
+               std::to_string(bench::m_equiv(k.m_actual)), std::to_string(ppn),
+               std::to_string(nodes), fmt_sci(tn, 6), fmt(speedup, 4),
+               fmt(speedup / nodes, 4)});
     }
   }
   t.print();

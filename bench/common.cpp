@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "linalg/backend.hpp"
+#include "support/cli.hpp"
 #include "support/logging.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -161,6 +162,100 @@ KernelMeasurement measure_step(const Workload& w, dmrg::EngineKind kind, index_t
 
   store_cached(path, k);
   return k;
+}
+
+DistMeasurement measure_step_distributed(const Workload& w, index_t m, int ranks,
+                                         unsigned seed) {
+  Rng rng(seed);
+  mps::Mps psi = mps::Mps::random(w.sites, w.sector, m, rng);
+
+  // Spawn the ranks before the solver builds its environment stack, from
+  // quiescent context (process mode forks).
+  rt::SchedulerOptions sopts;
+  sopts.num_ranks = ranks;
+  rt::Scheduler sched(sopts);
+
+  auto engine = dmrg::make_engine(dmrg::EngineKind::kList, {rt::blue_waters(), 1, 16});
+  engine->set_scheduler(&sched);
+  dmrg::ContractionEngine* eng = engine.get();
+  dmrg::Dmrg solver(std::move(psi), w.h, std::move(engine));
+
+  const int j = solver.psi().size() / 2;
+  DistMeasurement d;
+  d.ranks = ranks;
+  d.mode = sched.mode();
+  d.m_actual = solver.psi().site(j).index(2).dim();
+
+  sched.reset_accumulated();  // drop the untimed environment build
+  const rt::CostTracker before = eng->tracker();
+  dmrg::SweepParams params;
+  params.max_m = m;
+  params.davidson_iter = 2;  // paper production setting
+  Timer timer;
+  solver.optimize_bond(j, params, /*sweep_right=*/true);
+  d.wall_seconds = timer.seconds();
+  d.costs = eng->tracker().diff(before);
+  d.dist = sched.accumulated();
+  d.flops = d.costs.flops();
+  return d;
+}
+
+bool distributed_mode(int argc, char** argv, const std::string& driver,
+                      const Workload& w, const std::vector<index_t>& ms) {
+  Cli cli(argc, argv);
+  const int ranks = static_cast<int>(cli.get_int("ranks", 0));
+  if (ranks <= 0) return false;
+
+  Csv csv(csv_path(argc, argv),
+          "driver,workload,source,m_bench,m_equiv,ranks,mode,seconds,gemm_s,"
+          "comm_s,imbalance_s,words_moved,bytes_moved,flops");
+
+  Table t(driver + " — measured distributed steps, " + w.name + " list at --ranks " +
+          std::to_string(ranks) + " (" + rt::spawn_mode_name(
+              rt::spawn_mode_from_env()) + " mode)");
+  t.header({"m(eq)", "ranks", "wall s", "gemm s", "comm s", "imb s", "MB moved",
+            "bins"});
+  for (index_t m : ms) {
+    const DistMeasurement d = measure_step_distributed(w, m, ranks);
+    int bins = 0;
+    for (const auto& r : d.dist.ranks) bins += r.bins;
+    t.row({fmt_int(m_equiv(d.m_actual)), std::to_string(d.ranks),
+           fmt_sci(d.wall_seconds, 2),
+           fmt_sci(d.costs.time(rt::Category::kGemm), 2),
+           fmt_sci(d.costs.time(rt::Category::kComm), 2),
+           fmt_sci(d.costs.time(rt::Category::kImbalance), 2),
+           fmt(d.dist.total_bytes() / 1e6, 2), fmt_int(bins)});
+    csv.row({driver, w.name, "measured", std::to_string(m),
+             std::to_string(m_equiv(d.m_actual)),
+             std::to_string(d.ranks), rt::spawn_mode_name(d.mode),
+             fmt_sci(d.wall_seconds, 6),
+             fmt_sci(d.costs.time(rt::Category::kGemm), 6),
+             fmt_sci(d.costs.time(rt::Category::kComm), 6),
+             fmt_sci(d.costs.time(rt::Category::kImbalance), 6),
+             fmt_sci(d.costs.words(), 6), fmt_sci(d.dist.total_bytes(), 6),
+             fmt_sci(d.flops, 6)});
+
+    // BSP-replayed analogue at `ranks` virtual nodes, for contrast: simulated
+    // seconds on a scaled virtual cluster, not this machine's wall time (see
+    // docs/BENCHMARKS.md, "Measured vs replayed").
+    const KernelMeasurement k = measure_step(w, dmrg::EngineKind::kList, m);
+    const rt::CostTracker sim = replayed(k, cluster(rt::blue_waters(), ranks, 16));
+    csv.row({driver, w.name, "replayed", std::to_string(m),
+             std::to_string(m_equiv(k.m_actual)),
+             std::to_string(ranks), "bsp-sim", fmt_sci(sim.total_time(), 6),
+             fmt_sci(sim.time(rt::Category::kGemm), 6),
+             fmt_sci(sim.time(rt::Category::kComm), 6),
+             fmt_sci(sim.time(rt::Category::kImbalance), 6),
+             fmt_sci(sim.words(), 6), fmt_sci(sim.words() * 8.0, 6),
+             fmt_sci(sim.flops(), 6)});
+  }
+  t.print();
+  std::cout << "\nMeasured mode: real multi-" << rt::spawn_mode_name(
+                   rt::spawn_mode_from_env())
+            << " execution on this host — bytes and idle tails are transport\n"
+               "measurements, not cost-model output. Replayed rows (CSV) price\n"
+               "the same numerics on a scaled virtual cluster instead.\n";
+  return true;
 }
 
 double sim_seconds(const KernelMeasurement& k, const rt::Cluster& cluster) {

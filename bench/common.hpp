@@ -20,6 +20,7 @@
 #include "models/hubbard.hpp"
 #include "models/lattice.hpp"
 #include "models/spin_half.hpp"
+#include "runtime/scheduler.hpp"
 #include "support/table.hpp"
 
 namespace tt::bench {
@@ -81,6 +82,35 @@ double sim_seconds(const KernelMeasurement& k, const rt::Cluster& cluster);
 
 /// Full replayed cost tracker.
 rt::CostTracker replayed(const KernelMeasurement& k, const rt::Cluster& cluster);
+
+/// Measured execution of one two-site optimization across real scheduler
+/// ranks (multi-process by default). Unlike KernelMeasurement — whose
+/// communication numbers come from replaying the BSP cost model on a virtual
+/// cluster — every number here is measured on this host: wall time, per-rank
+/// busy time, bytes actually moved by the transport, and the idle tails.
+struct DistMeasurement {
+  int ranks = 0;
+  rt::SpawnMode mode = rt::SpawnMode::kProcess;
+  double flops = 0.0;          ///< charged flops of the measured step
+  double wall_seconds = 0.0;   ///< real end-to-end time of the step
+  index_t m_actual = 0;        ///< realized bond dimension at the middle bond
+  rt::CostTracker costs;       ///< measured tracker (kGemm/kComm/kImbalance)
+  rt::DistStats dist;          ///< per-rank detail of the step's exchanges
+};
+
+/// Execute one middle-bond optimization with the list engine routed through a
+/// `ranks`-rank rt::Scheduler. Never cached: this is a real measurement of
+/// this machine, not a replayable log.
+DistMeasurement measure_step_distributed(const Workload& w, index_t m, int ranks,
+                                         unsigned seed = 1);
+
+/// Shared "--ranks N" mode of the figure drivers: when the flag is present,
+/// run measured distributed steps over `ms` instead of the replayed figure,
+/// print the measured table, emit `--csv` rows tagged source=measured (plus
+/// the BSP-replayed analogue rows for contrast), and return true — the
+/// driver exits. Returns false when "--ranks" is absent.
+bool distributed_mode(int argc, char** argv, const std::string& driver,
+                      const Workload& w, const std::vector<index_t>& ms);
 
 /// Single-node baseline ("ITensor" stand-in): reference engine on one node of
 /// `machine`. gflops_rate is used for the paper's extrapolated comparisons.

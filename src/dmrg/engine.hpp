@@ -27,6 +27,10 @@
 #include "symm/block_factor.hpp"
 #include "symm/block_ops.hpp"
 
+namespace tt::rt {
+class Scheduler;  // runtime/scheduler.hpp — the distributed block scheduler
+}
+
 namespace tt::dmrg {
 
 /// Which contraction strategy an engine executes (see the taxonomy above and
@@ -115,6 +119,17 @@ class ContractionEngine {
   void set_num_threads(int n) { num_threads_ = n; }
   int num_threads() const { return num_threads_; }
 
+  /// Attach a distributed block scheduler (non-owning; the caller keeps it
+  /// alive for the engine's lifetime, e.g. the `--ranks N` bench drivers).
+  /// With a scheduler of more than one rank attached, block-wise contractions
+  /// (the list algorithm) execute across its ranks and the tracker is charged
+  /// the *measured* DistStats of each exchange — real bytes, real busy time,
+  /// real idle tails — instead of the simulated BSP cost model. Results stay
+  /// bitwise identical to the local path (the scheduler's rank-parity
+  /// invariant). nullptr (the default) restores the simulated charging.
+  void set_scheduler(rt::Scheduler* s) { scheduler_ = s; }
+  rt::Scheduler* scheduler() const { return scheduler_; }
+
   /// Enable/disable op logging (off by default).
   void set_logging(bool on) { logging_ = on; }
   const std::vector<OpRecord>& log() const { return log_; }
@@ -160,6 +175,7 @@ class ContractionEngine {
   rt::Cluster cluster_;
   rt::CostModelParams params_;
   rt::CostTracker tracker_;
+  rt::Scheduler* scheduler_ = nullptr;
   bool logging_ = false;
   std::vector<OpRecord> log_;
   int num_threads_ = 0;

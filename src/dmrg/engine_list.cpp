@@ -1,10 +1,34 @@
 #include "dmrg/engines.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace tt::dmrg {
 
 symm::BlockTensor ListEngine::contract(const symm::BlockTensor& a, Role,
                                        const symm::BlockTensor& b, Role,
                                        const std::vector<std::pair<int, int>>& pairs) {
+  // Distributed path: with a multi-rank scheduler attached, the bins execute
+  // across its ranks and the tracker is charged the *measured* exchange
+  // (bytes, busy time, idle tails) instead of the simulated BSP model.
+  // Results and ContractStats are bitwise identical either way — the
+  // scheduler's rank-parity invariant.
+  if (scheduler_ != nullptr && scheduler_->num_ranks() > 1) {
+    symm::ContractStats stats;
+    symm::BlockTensor c = scheduler_->contract(a, b, pairs, &stats);
+    scheduler_->last().charge(tracker_);
+    // The op log stays cluster-invariant numerics (replayable on any virtual
+    // machine); only the tracker switches to the measured record.
+    if (logging_) {
+      for (const auto& op : stats.block_ops) {
+        OpRecord r;
+        r.type = OpRecord::Type::kContraction;
+        r.cost = {op.flops, op.words_a, op.words_b, op.words_c};
+        r.layout = rt::Layout::kBlockDense3D;
+        log_.push_back(r);
+      }
+    }
+    return c;
+  }
+
   symm::ContractStats stats;
   symm::BlockTensor c = symm::contract(a, b, pairs, &stats, contract_options());
   // One distributed dense contraction per block pair (paper Alg. 2): each is

@@ -1,0 +1,45 @@
+#include "runtime/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace tt::rt {
+
+double Partition::load_bound() const {
+  const int ranks = static_cast<int>(rank_load.size());
+  return (ranks > 0 ? total_weight / ranks : 0.0) + max_weight;
+}
+
+Partition partition_bins(const std::vector<double>& weights, int num_ranks) {
+  TT_CHECK(num_ranks >= 1, "partition needs at least one rank, got " << num_ranks);
+  for (double w : weights)
+    TT_CHECK(w >= 0.0, "bin weight must be non-negative, got " << w);
+
+  Partition p;
+  p.rank_of.assign(weights.size(), 0);
+  p.rank_load.assign(static_cast<std::size_t>(num_ranks), 0.0);
+
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return weights[i] > weights[j];  // descending; stable = ties by bin index
+  });
+
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const int rank = static_cast<int>(pos % static_cast<std::size_t>(num_ranks));
+    const std::size_t bin = order[pos];
+    p.rank_of[bin] = rank;
+    p.rank_load[static_cast<std::size_t>(rank)] += weights[bin];
+    p.max_weight = std::max(p.max_weight, weights[bin]);
+    p.total_weight += weights[bin];
+  }
+  return p;
+}
+
+int choose_replicated(double words_a, double words_b) {
+  return words_b < words_a ? 1 : 0;
+}
+
+}  // namespace tt::rt

@@ -1,0 +1,46 @@
+// Rank placement of output-block bins — the low-communication layout of
+// Zhai & Chan 2021 specialized to the root-coordinated scheduler: the small
+// operand is replicated on every rank, only the blocks of the large operand
+// that a rank's bins touch are shipped to it, and the bins themselves are
+// dealt cyclically by descending weight.
+//
+// Imbalance bound of the cyclic deal (documented, property-tested): sort
+// weights descending, give sorted item i to rank i mod R. In every round j
+// the ranks receive adjacent items of the sorted order, so for ranks r < r'
+// the per-round gap telescopes:
+//   load(r) − load(r') = Σ_j (w[jR+r] − w[jR+r']) ≤ Σ_j (w[jR+r] − w[(j+1)R+r])
+//                      ≤ w[r] ≤ w_max,
+// hence  max_load ≤ total/R + w_max.  One huge bin can always dominate a
+// rank (that is the w_max term — fixing it needs bin splitting, a future
+// item); apart from that the deal is balanced to within one bin.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace tt::rt {
+
+/// rank_of[i] = rank that executes bin i; plus the per-rank load sums.
+struct Partition {
+  std::vector<int> rank_of;          ///< one entry per bin, in bin order
+  std::vector<double> rank_load;     ///< Σ of assigned weights, per rank
+  double max_weight = 0.0;           ///< heaviest single bin
+  double total_weight = 0.0;
+
+  /// The documented bound the deal guarantees: total/R + max_weight.
+  double load_bound() const;
+};
+
+/// Deal `weights` (one per bin, any non-negative values) across `num_ranks`
+/// ranks: descending-weight cyclic assignment. Deterministic: ties broken by
+/// bin index. Every bin is assigned to exactly one rank; per-rank load obeys
+/// Partition::load_bound().
+Partition partition_bins(const std::vector<double>& weights, int num_ranks);
+
+/// Which operand the scheduler replicates (the other is distributed
+/// block-wise): the one with fewer stored words; ties replicate `a`.
+/// Returns 0 for a, 1 for b.
+int choose_replicated(double words_a, double words_b);
+
+}  // namespace tt::rt

@@ -1,0 +1,426 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+#include "tensor/dense.hpp"
+
+namespace tt::rt {
+
+namespace {
+
+// Protocol frame tags. One task frame per contraction per worker, answered by
+// exactly one result (or error) frame — the protocol stays frame-aligned even
+// across worker-side errors.
+constexpr std::uint32_t kTagTask = 1;
+constexpr std::uint32_t kTagResult = 2;
+constexpr std::uint32_t kTagShutdown = 3;
+constexpr std::uint32_t kTagError = 4;
+
+// Workers idle between contractions; a crashed root surfaces as EOF, not a
+// timeout, so the idle wait can be generous.
+constexpr double kWorkerIdleTimeout = 3600.0;
+
+// Worker-side view of one task: operand block tables plus bins referencing
+// them by table index. Tensor storage is owned here; bins point into it.
+struct WorkerTask {
+  std::string spec;
+  int threads = 1;
+  bool collect_ops = false;
+  double timeout_seconds = 120.0;
+  std::vector<tensor::DenseTensor> table_a, table_b;
+  std::vector<std::uint64_t> bin_index;   // global bin ids, root's order
+  std::vector<symm::OutputBin> bins;      // keys unused (wire ships no keys)
+};
+
+WorkerTask parse_task(const std::vector<std::byte>& payload) {
+  WireReader r(payload);
+  WorkerTask task;
+  task.spec = r.str();
+  task.threads = static_cast<int>(r.u32());
+  task.collect_ops = r.u32() != 0;
+  task.timeout_seconds = r.f64();
+
+  const std::uint64_t na = r.u64();
+  task.table_a.reserve(static_cast<std::size_t>(na));
+  for (std::uint64_t i = 0; i < na; ++i) task.table_a.push_back(r.tensor());
+  const std::uint64_t nb = r.u64();
+  task.table_b.reserve(static_cast<std::size_t>(nb));
+  for (std::uint64_t i = 0; i < nb; ++i) task.table_b.push_back(r.tensor());
+
+  const std::uint64_t nbins = r.u64();
+  task.bin_index.reserve(static_cast<std::size_t>(nbins));
+  task.bins.reserve(static_cast<std::size_t>(nbins));
+  for (std::uint64_t i = 0; i < nbins; ++i) {
+    task.bin_index.push_back(r.u64());
+    symm::OutputBin bin;
+    const std::uint64_t npairs = r.u64();
+    bin.pairs.reserve(static_cast<std::size_t>(npairs));
+    for (std::uint64_t p = 0; p < npairs; ++p) {
+      const std::uint32_t ia = r.u32();
+      const std::uint32_t ib = r.u32();
+      TT_CHECK(ia < task.table_a.size() && ib < task.table_b.size(),
+               "task bin references block (" << ia << "," << ib
+                                             << ") outside the shipped tables");
+      symm::BinPair pw;  // keys are not shipped; execute_bin never reads them
+      pw.ablk = &task.table_a[ia];
+      pw.bblk = &task.table_b[ib];
+      bin.pairs.push_back(pw);
+    }
+    task.bins.push_back(std::move(bin));
+  }
+  TT_CHECK(r.done(), "task payload has " << r.remaining() << " trailing bytes");
+  return task;
+}
+
+// Executes one parsed task and serializes the reply payload.
+std::vector<std::byte> run_task(const WorkerTask& task) {
+  std::vector<symm::BinExecution> done(task.bins.size());
+  Timer busy;
+  support::parallel_for(
+      static_cast<index_t>(task.bins.size()),
+      [&](index_t i) {
+        done[static_cast<std::size_t>(i)] =
+            symm::execute_bin(task.bins[static_cast<std::size_t>(i)], task.spec,
+                              task.collect_ops, nullptr);
+      },
+      task.threads);
+  const double busy_seconds = busy.seconds();
+
+  WireWriter w;
+  w.f64(busy_seconds);
+  w.u64(done.size());
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    const symm::BinExecution& bin = done[i];
+    w.u64(task.bin_index[i]);
+    w.f64(bin.flops);
+    w.f64(bin.permuted_words);
+    w.u64(bin.ops.size());
+    for (const symm::BlockOpCost& op : bin.ops) {
+      w.f64(op.flops);
+      w.f64(op.words_a);
+      w.f64(op.words_b);
+      w.f64(op.words_c);
+    }
+    w.tensor(bin.result);
+  }
+  return w.take();
+}
+
+// Worker service loop: one task in, one result (or error) out, until the
+// shutdown frame or the root disappears.
+void worker_loop(int rank, Channel& ch) {
+  (void)rank;
+  for (;;) {
+    Frame f;
+    try {
+      f = ch.recv_frame(kWorkerIdleTimeout);
+    } catch (const Error&) {
+      return;  // root gone (EOF) or wedged; nothing left to serve
+    }
+    if (f.tag == kTagShutdown) return;
+    if (f.tag != kTagTask) return;  // protocol violation: stop serving
+    double timeout = 120.0;
+    try {
+      const WorkerTask task = parse_task(f.payload);
+      timeout = task.timeout_seconds;
+      ch.send_frame(kTagResult, run_task(task), task.timeout_seconds);
+    } catch (const Error& e) {
+      // Keep the frame protocol aligned: the root gets an error frame where
+      // it expected a result, and throws on its side.
+      try {
+        WireWriter w;
+        w.str(e.what());
+        ch.send_frame(kTagError, w.take(), timeout);
+      } catch (const Error&) {
+        return;  // cannot even report: root will see EOF on our exit
+      }
+    }
+  }
+}
+
+}  // namespace
+
+double DistStats::total_bytes() const {
+  double sum = 0.0;
+  for (const Rank& r : ranks) sum += r.bytes_sent + r.bytes_received;
+  return sum;
+}
+
+double DistStats::total_flops() const {
+  double sum = 0.0;
+  for (const Rank& r : ranks) sum += r.flops;
+  return sum;
+}
+
+void DistStats::charge(CostTracker& t) const {
+  t.add_time(Category::kGemm, critical_busy_seconds);
+  t.add_time(Category::kComm, comm_seconds);
+  t.add_time(Category::kImbalance, imbalance_seconds);
+  t.add_words(exchange_words);
+  for (const Rank& r : ranks) t.add_flops(r.flops);  // fixed rank order
+  t.add_supersteps(static_cast<double>(contractions));
+}
+
+void DistStats::merge(const DistStats& other) {
+  if (ranks.size() < other.ranks.size()) ranks.resize(other.ranks.size());
+  for (std::size_t i = 0; i < other.ranks.size(); ++i) {
+    ranks[i].bins += other.ranks[i].bins;
+    ranks[i].flops += other.ranks[i].flops;
+    ranks[i].busy_seconds += other.ranks[i].busy_seconds;
+    ranks[i].bytes_sent += other.ranks[i].bytes_sent;
+    ranks[i].bytes_received += other.ranks[i].bytes_received;
+  }
+  contractions += other.contractions;
+  comm_seconds += other.comm_seconds;
+  exchange_words += other.exchange_words;
+  critical_busy_seconds += other.critical_busy_seconds;
+  imbalance_seconds += other.imbalance_seconds;
+  replicated_operand = other.replicated_operand;
+}
+
+Scheduler::Scheduler(const SchedulerOptions& opts) : opts_(opts) {
+  TT_CHECK(opts_.num_ranks >= 1,
+           "scheduler needs at least one rank, got " << opts_.num_ranks);
+  if (opts_.num_ranks > 1)
+    group_ = std::make_unique<WorkerGroup>(opts_.num_ranks, opts_.mode, worker_loop);
+}
+
+Scheduler::~Scheduler() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Destructor must not throw; WorkerGroup teardown hard-kills leftovers.
+  }
+}
+
+void Scheduler::kill_rank(int rank) {
+  TT_CHECK(group_ != nullptr, "kill_rank on a single-rank scheduler");
+  group_->kill(rank);
+}
+
+void Scheduler::shutdown() {
+  if (group_ == nullptr) return;
+  for (int r = 1; r < opts_.num_ranks; ++r) {
+    try {
+      if (group_->channel(r).open())
+        group_->channel(r).send_frame(kTagShutdown, {}, 1.0);
+    } catch (const Error&) {
+      // Dead workers are reaped by join() below.
+    }
+  }
+  group_->join(/*timeout_seconds=*/5.0);
+  group_.reset();
+}
+
+symm::BlockTensor Scheduler::contract(const symm::BlockTensor& a,
+                                      const symm::BlockTensor& b,
+                                      const std::vector<std::pair<int, int>>& pairs,
+                                      symm::ContractStats* stats) {
+  TT_CHECK(!broken_,
+           "scheduler is broken after a failed exchange; construct a new one");
+  const int R = opts_.num_ranks;
+  const symm::ContractPlan plan = symm::make_contract_plan(a, b, pairs);
+  symm::BlockTensor c(plan.out_indices, plan.out_flux);
+  const std::vector<symm::OutputBin> bins = symm::enumerate_bins(a, b, pairs, plan);
+
+  // --- placement -------------------------------------------------------------
+  std::vector<double> weights(bins.size());
+  for (std::size_t i = 0; i < bins.size(); ++i) weights[i] = bins[i].est_flops;
+  const Partition part = partition_bins(weights, R);
+  const int replicated = choose_replicated(static_cast<double>(a.num_elements()),
+                                           static_cast<double>(b.num_elements()));
+
+  std::vector<std::vector<std::size_t>> rank_bins(static_cast<std::size_t>(R));
+  for (std::size_t g = 0; g < bins.size(); ++g)
+    rank_bins[static_cast<std::size_t>(part.rank_of[g])].push_back(g);
+
+  DistStats d;
+  d.ranks.resize(static_cast<std::size_t>(R));
+  d.contractions = 1;
+  d.replicated_operand = replicated;
+
+  // --- ship operand slices + bin lists to the workers ------------------------
+  const bool collect_ops = stats != nullptr;
+  if (group_) {
+    for (int r = 1; r < R; ++r) {
+      Channel& ch = group_->channel(r);
+      const double sent0 = ch.bytes_sent(), ss0 = ch.send_seconds();
+
+      // Block tables: the replicated operand ships whole (in key order); the
+      // distributed operand ships only blocks this rank's bins reference, in
+      // first-touch (bin, pair) order — deterministic either way.
+      std::vector<const tensor::DenseTensor*> table_a, table_b;
+      std::unordered_map<const tensor::DenseTensor*, std::uint32_t> index_a, index_b;
+      auto intern = [](std::vector<const tensor::DenseTensor*>& table,
+                       std::unordered_map<const tensor::DenseTensor*, std::uint32_t>& index,
+                       const tensor::DenseTensor* blk) {
+        auto [it, fresh] = index.try_emplace(blk, static_cast<std::uint32_t>(table.size()));
+        if (fresh) table.push_back(blk);
+        return it->second;
+      };
+      if (replicated == 0)
+        for (const auto& kv : a.blocks()) intern(table_a, index_a, &kv.second);
+      else
+        for (const auto& kv : b.blocks()) intern(table_b, index_b, &kv.second);
+
+      struct WirePair {
+        std::uint32_t ia, ib;
+      };
+      std::vector<std::vector<WirePair>> wire_bins;
+      wire_bins.reserve(rank_bins[static_cast<std::size_t>(r)].size());
+      for (std::size_t g : rank_bins[static_cast<std::size_t>(r)]) {
+        std::vector<WirePair>& wb = wire_bins.emplace_back();
+        wb.reserve(bins[g].pairs.size());
+        for (const symm::BinPair& pw : bins[g].pairs)
+          wb.push_back({intern(table_a, index_a, pw.ablk),
+                        intern(table_b, index_b, pw.bblk)});
+      }
+
+      WireWriter w;
+      w.str(plan.spec);
+      w.u32(static_cast<std::uint32_t>(opts_.worker_threads));
+      w.u32(collect_ops ? 1 : 0);
+      w.f64(opts_.timeout_seconds);
+      w.u64(table_a.size());
+      double operand_words = 0.0;
+      for (const tensor::DenseTensor* t : table_a) {
+        w.tensor(*t);
+        operand_words += static_cast<double>(t->size());
+      }
+      w.u64(table_b.size());
+      for (const tensor::DenseTensor* t : table_b) {
+        w.tensor(*t);
+        operand_words += static_cast<double>(t->size());
+      }
+      w.u64(wire_bins.size());
+      for (std::size_t i = 0; i < wire_bins.size(); ++i) {
+        w.u64(rank_bins[static_cast<std::size_t>(r)][i]);
+        w.u64(wire_bins[i].size());
+        for (const WirePair& p : wire_bins[i]) {
+          w.u32(p.ia);
+          w.u32(p.ib);
+        }
+      }
+
+      try {
+        ch.send_frame(kTagTask, w.bytes(), opts_.timeout_seconds);
+      } catch (const Error&) {
+        broken_ = true;
+        throw;
+      }
+      d.exchange_words += operand_words;
+      d.ranks[static_cast<std::size_t>(r)].bytes_sent = ch.bytes_sent() - sent0;
+      d.comm_seconds += ch.send_seconds() - ss0;
+    }
+  }
+
+  // --- execute the root's own share while the workers run theirs -------------
+  std::vector<symm::BinExecution> done(bins.size());
+  {
+    const std::vector<std::size_t>& mine = rank_bins[0];
+    Timer busy;
+    support::parallel_for(
+        static_cast<index_t>(mine.size()),
+        [&](index_t i) {
+          const std::size_t g = mine[static_cast<std::size_t>(i)];
+          done[g] = symm::execute_bin(bins[g], plan.spec, collect_ops, nullptr);
+        },
+        opts_.root_threads);
+    d.ranks[0].busy_seconds = busy.seconds();
+    d.ranks[0].bins = static_cast<int>(mine.size());
+    for (std::size_t g : mine) d.ranks[0].flops += done[g].flops;
+  }
+
+  // --- gather worker results in fixed rank order -----------------------------
+  if (group_) {
+    for (int r = 1; r < R; ++r) {
+      Channel& ch = group_->channel(r);
+      const double recv0 = ch.bytes_received(), rs0 = ch.recv_seconds();
+      Frame f;
+      try {
+        f = ch.recv_frame(opts_.timeout_seconds);
+      } catch (const Error&) {
+        broken_ = true;
+        throw;
+      }
+      d.ranks[static_cast<std::size_t>(r)].bytes_received =
+          ch.bytes_received() - recv0;
+      d.comm_seconds += ch.recv_seconds() - rs0;
+
+      if (f.tag == kTagError) {
+        broken_ = true;
+        WireReader er(f.payload);
+        TT_FAIL("scheduler rank " << r << " failed: " << er.str());
+      }
+      if (f.tag != kTagResult) {
+        broken_ = true;
+        TT_FAIL("scheduler rank " << r << " sent unexpected frame tag " << f.tag);
+      }
+
+      WireReader reader(f.payload);
+      DistStats::Rank& rr = d.ranks[static_cast<std::size_t>(r)];
+      rr.busy_seconds = reader.f64();
+      const std::uint64_t nbins = reader.u64();
+      const std::vector<std::size_t>& expect = rank_bins[static_cast<std::size_t>(r)];
+      if (nbins != expect.size()) {
+        broken_ = true;
+        TT_FAIL("scheduler rank " << r << " returned " << nbins << " bins, expected "
+                                  << expect.size());
+      }
+      rr.bins = static_cast<int>(nbins);
+      for (std::size_t i = 0; i < expect.size(); ++i) {
+        const std::uint64_t g = reader.u64();
+        if (g != expect[i]) {
+          broken_ = true;
+          TT_FAIL("scheduler rank " << r << " returned bin " << g << ", expected "
+                                    << expect[i]);
+        }
+        symm::BinExecution& bin = done[static_cast<std::size_t>(g)];
+        bin.flops = reader.f64();
+        bin.permuted_words = reader.f64();
+        const std::uint64_t nops = reader.u64();
+        bin.ops.resize(static_cast<std::size_t>(nops));
+        for (symm::BlockOpCost& op : bin.ops) {
+          op.flops = reader.f64();
+          op.words_a = reader.f64();
+          op.words_b = reader.f64();
+          op.words_c = reader.f64();
+        }
+        bin.result = reader.tensor();
+        rr.flops += bin.flops;
+        d.exchange_words += static_cast<double>(bin.result.size());
+      }
+    }
+  }
+
+  // --- deterministic assembly + reduction in global bin order ----------------
+  for (std::size_t g = 0; g < bins.size(); ++g)
+    c.accumulate(bins[g].out_key, std::move(done[g].result));
+  if (stats) {
+    stats->num_bins += static_cast<int>(bins.size());
+    for (symm::BinExecution& bin : done) {
+      stats->total_flops += bin.flops;
+      stats->permuted_words += bin.permuted_words;
+      stats->block_ops.insert(stats->block_ops.end(), bin.ops.begin(),
+                              bin.ops.end());
+    }
+  }
+
+  // --- measured cost bookkeeping ---------------------------------------------
+  double max_busy = 0.0;
+  for (const DistStats::Rank& r : d.ranks)
+    max_busy = std::max(max_busy, r.busy_seconds);
+  d.critical_busy_seconds = max_busy;
+  for (const DistStats::Rank& r : d.ranks)
+    d.imbalance_seconds += max_busy - r.busy_seconds;
+
+  last_ = d;
+  accumulated_.merge(d);
+  return c;
+}
+
+}  // namespace tt::rt

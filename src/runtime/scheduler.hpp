@@ -1,0 +1,148 @@
+// Multi-process block scheduler: the *real* distributed runtime that replaces
+// the BSP cost replay for block-sparse contractions.
+//
+// The unit of placement is the output-block bin of symm::enumerate_bins —
+// exactly the unit of thread-level parallelism inside symm::contract, promoted
+// across process ranks. One contraction executes as:
+//
+//   1. Root (rank 0) enumerates the bins and deals them across ranks by
+//      descending estimated flops (runtime/partition.hpp; cyclic deal with a
+//      documented total/R + w_max imbalance bound).
+//   2. Root ships each worker its operand slice over the transport: the
+//      smaller operand replicated in full, and only the blocks of the larger
+//      operand its bins touch (the Zhai & Chan low-communication layout).
+//      Every byte is counted — communication volume is measured, not modeled.
+//   3. Workers execute their bins on the work-stealing pool (each bin serial
+//      in fixed pair order), concurrently with the root executing its own
+//      share, and send back per-bin results and per-bin stats.
+//   4. Root assembles output blocks and merges ContractStats in *global bin
+//      order* — the same reduction order as the serial run — so results and
+//      stats are bitwise identical at any rank count, the same invariant the
+//      TT_THREADS executor guarantees for threads.
+//
+// Measured per-rank quantities (busy time, bytes each way, transport wall
+// time) land in DistStats and reduce into the existing rt::CostTracker in
+// fixed rank order: GEMM time = the critical (max) rank, imbalance = the idle
+// tail of the other ranks, comm = root transport wall, words = data words
+// actually moved. See docs/ARCHITECTURE.md "The distributed block scheduler".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/partition.hpp"
+#include "runtime/tracker.hpp"
+#include "runtime/transport.hpp"
+#include "symm/block_ops.hpp"
+
+namespace tt::rt {
+
+/// Construction-time knobs of a Scheduler.
+struct SchedulerOptions {
+  /// Total ranks including the root. 1 = fully local (no workers spawned).
+  int num_ranks = 1;
+
+  /// Process (fork) or thread workers; default honors TT_SCHED_MODE.
+  SpawnMode mode = spawn_mode_from_env();
+
+  /// Executor threads for each worker's bins (worker-local pool). Workers
+  /// default to serial: on one machine the ranks already provide the
+  /// parallelism, and serial workers keep the thread-mode path TSan-lean.
+  int worker_threads = 1;
+
+  /// Executor threads for the root's own bin share; 0 = global TT_THREADS.
+  int root_threads = 0;
+
+  /// Deadline for every transport operation of one contraction. A worker that
+  /// dies or wedges surfaces as tt::Error within this bound — never a hang.
+  double timeout_seconds = 120.0;
+};
+
+/// Measured execution record of distributed contractions (one or accumulated
+/// many). All quantities are wall-clock or byte measurements — nothing here
+/// comes from the BSP cost model.
+struct DistStats {
+  struct Rank {
+    int bins = 0;                ///< output bins executed by this rank
+    double flops = 0.0;          ///< measured einsum flops of those bins
+    double busy_seconds = 0.0;   ///< wall time executing bins
+    double bytes_sent = 0.0;     ///< root -> rank frame bytes (operands)
+    double bytes_received = 0.0; ///< rank -> root frame bytes (results)
+  };
+  std::vector<Rank> ranks;       ///< fixed rank order, index = rank
+
+  int contractions = 0;
+  double comm_seconds = 0.0;     ///< root wall time inside transport calls
+  double exchange_words = 0.0;   ///< tensor words moved (operands + results)
+  double critical_busy_seconds = 0.0;  ///< Σ over contractions of max-rank busy
+  double imbalance_seconds = 0.0;      ///< Σ over contractions, ranks of (max − busy)
+  int replicated_operand = 0;    ///< most recent contraction: 0 = a, 1 = b
+
+  double total_bytes() const;
+  double total_flops() const;
+
+  /// Reduce into a cost tracker in fixed rank order: kGemm += critical busy,
+  /// kComm += transport wall, kImbalance += idle tails, words += exchanged
+  /// words, flops += per-rank flops (rank order), one superstep per
+  /// contraction. Note kComm is measured at the root and includes time blocked
+  /// waiting on results — see docs/BENCHMARKS.md "Measured vs replayed" for
+  /// the decomposition caveat.
+  void charge(CostTracker& t) const;
+
+  /// Rank-wise and scalar accumulation (for multi-contraction aggregates).
+  void merge(const DistStats& other);
+};
+
+/// Distributed block-contraction scheduler (see file header). Workers are
+/// spawned at construction and serve until shutdown()/destruction; contract()
+/// may be called any number of times. Construct from quiescent single-threaded
+/// context (process mode forks). Not thread-safe; one contraction at a time.
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedulerOptions& opts = {});
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  int num_ranks() const { return opts_.num_ranks; }
+  SpawnMode mode() const { return opts_.mode; }
+
+  /// Distributed symm::contract: identical semantics, results, and (when
+  /// `stats` is given) ContractStats — bitwise, at any rank count. Measured
+  /// communication/imbalance of this call lands in last() and accumulated().
+  /// Throws tt::Error if a worker died or the exchange failed; the scheduler
+  /// is then broken (workers in unknown protocol state) and every later
+  /// contract() throws until destruction.
+  symm::BlockTensor contract(const symm::BlockTensor& a, const symm::BlockTensor& b,
+                             const std::vector<std::pair<int, int>>& pairs,
+                             symm::ContractStats* stats = nullptr);
+
+  /// Measured record of the most recent contract() / of all calls so far.
+  const DistStats& last() const { return last_; }
+  const DistStats& accumulated() const { return accumulated_; }
+  void reset_accumulated() { accumulated_ = DistStats{}; }
+
+  /// accumulated().charge(t) — the fixed-rank-order reduction into the
+  /// existing cost tracker.
+  void reduce_into(CostTracker& t) const { accumulated_.charge(t); }
+
+  /// Fault injection (process mode): SIGKILL a worker. The next contract()
+  /// observes the dead peer and throws cleanly.
+  void kill_rank(int rank);
+
+  /// Graceful teardown: shutdown frames, reap/join workers. Idempotent; the
+  /// destructor calls it (hard-killing whatever does not exit in time).
+  void shutdown();
+
+ private:
+  SchedulerOptions opts_;
+  std::unique_ptr<WorkerGroup> group_;  // null when num_ranks == 1
+  DistStats last_;
+  DistStats accumulated_;
+  bool broken_ = false;
+};
+
+}  // namespace tt::rt

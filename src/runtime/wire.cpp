@@ -1,0 +1,100 @@
+#include "runtime/wire.hpp"
+
+#include <cstring>
+
+namespace tt::rt {
+
+namespace {
+
+// Upper bound on any single variable-length field (1 GiB of payload). Guards
+// the reader against allocating absurd sizes out of a corrupt length prefix.
+constexpr std::uint64_t kMaxFieldBytes = std::uint64_t{1} << 30;
+
+}  // namespace
+
+void WireWriter::raw(const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::byte*>(p);
+  buf_.insert(buf_.end(), b, b + n);
+}
+
+void WireWriter::str(const std::string& s) {
+  u64(s.size());
+  raw(s.data(), s.size());
+}
+
+void WireWriter::i32_list(const std::vector<int>& v) {
+  u64(v.size());
+  for (int x : v) u32(static_cast<std::uint32_t>(x));
+}
+
+void WireWriter::tensor(const tensor::DenseTensor& t) {
+  u64(static_cast<std::uint64_t>(t.order()));
+  for (int m = 0; m < t.order(); ++m) i64(t.dim(m));
+  raw(t.data(), static_cast<std::size_t>(t.size()) * sizeof(double));
+}
+
+void WireReader::raw(void* p, std::size_t n) {
+  TT_CHECK(pos_ + n <= buf_.size(),
+           "wire message truncated: need " << n << " bytes at offset " << pos_
+                                           << " of " << buf_.size());
+  std::memcpy(p, buf_.data() + pos_, n);
+  pos_ += n;
+}
+
+std::uint32_t WireReader::u32() {
+  std::uint32_t v;
+  raw(&v, sizeof v);
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  std::uint64_t v;
+  raw(&v, sizeof v);
+  return v;
+}
+
+std::int64_t WireReader::i64() {
+  std::int64_t v;
+  raw(&v, sizeof v);
+  return v;
+}
+
+double WireReader::f64() {
+  double v;
+  raw(&v, sizeof v);
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint64_t n = u64();
+  TT_CHECK(n <= kMaxFieldBytes, "wire string length " << n << " exceeds limit");
+  std::string s(static_cast<std::size_t>(n), '\0');
+  raw(s.data(), s.size());
+  return s;
+}
+
+std::vector<int> WireReader::i32_list() {
+  const std::uint64_t n = u64();
+  TT_CHECK(n * sizeof(std::uint32_t) <= kMaxFieldBytes,
+           "wire list length " << n << " exceeds limit");
+  std::vector<int> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<int>(u32());
+  return v;
+}
+
+tensor::DenseTensor WireReader::tensor() {
+  const std::uint64_t order = u64();
+  TT_CHECK(order <= 64, "wire tensor order " << order << " exceeds limit");
+  std::vector<index_t> shape(static_cast<std::size_t>(order));
+  for (auto& d : shape) {
+    d = i64();
+    TT_CHECK(d >= 0, "wire tensor has negative dimension " << d);
+  }
+  tensor::DenseTensor t(std::move(shape));
+  const std::uint64_t bytes = static_cast<std::uint64_t>(t.size()) * sizeof(double);
+  TT_CHECK(bytes <= kMaxFieldBytes, "wire tensor payload " << bytes << " exceeds limit");
+  raw(t.data(), static_cast<std::size_t>(bytes));
+  return t;
+}
+
+}  // namespace tt::rt

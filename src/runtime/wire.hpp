@@ -1,0 +1,68 @@
+// Byte-level message encoding for the distributed scheduler's transport.
+//
+// Fixed-width little-endian fields appended/consumed in call order; doubles
+// travel as raw IEEE-754 bit patterns (memcpy, never text) so a value read
+// on the far side is bitwise identical to the value written — the rank-parity
+// invariant of the scheduler depends on this. The reader bounds-checks every
+// access and throws tt::Error on truncated or oversized fields, so a torn
+// frame surfaces as a clean error instead of garbage data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/types.hpp"
+#include "tensor/dense.hpp"
+
+namespace tt::rt {
+
+/// Append-only message builder.
+class WireWriter {
+ public:
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void str(const std::string& s);
+  void i32_list(const std::vector<int>& v);
+
+  /// shape as i64 list, then the payload as raw doubles.
+  void tensor(const tensor::DenseTensor& t);
+
+  const std::vector<std::byte>& bytes() const { return buf_; }
+  std::vector<std::byte> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void raw(const void* p, std::size_t n);
+
+  std::vector<std::byte> buf_;
+};
+
+/// Sequential bounds-checked reader over one received message.
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<std::byte>& buf) : buf_(buf) {}
+
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+  std::vector<int> i32_list();
+  tensor::DenseTensor tensor();
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool done() const { return pos_ == buf_.size(); }
+
+ private:
+  void raw(void* p, std::size_t n);
+
+  const std::vector<std::byte>& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tt::rt

@@ -15,10 +15,15 @@ thread_local bool tl_in_region = false;
 thread_local int tl_slot = 0;
 
 std::atomic<int> g_override{0};
+std::atomic<bool> g_omp_suppressed{false};
 
 }  // namespace
 
 bool in_parallel_region() { return tl_in_region; }
+
+bool openmp_allowed() {
+  return !tl_in_region && !g_omp_suppressed.load(std::memory_order_relaxed);
+}
 
 int execution_slot() { return tl_slot; }
 
@@ -196,6 +201,19 @@ ThreadPool& global_pool(int min_workers) {
 }
 
 }  // namespace
+
+void notify_fork_child() {
+  // The fork duplicated only the calling thread: pool workers, and any loop
+  // they were running, are gone. Leak the pool objects instead of destroying
+  // them — ~ThreadPool would join threads that do not exist here. No lock:
+  // the child is single-threaded, and the inherited g_pool_mutex may have
+  // been captured mid-acquisition by a parent thread that no longer exists.
+  for (auto& p : g_pools) (void)p.release();
+  g_pools.clear();
+  g_omp_suppressed.store(true, std::memory_order_relaxed);
+  tl_in_region = false;
+  tl_slot = 0;
+}
 
 void parallel_for(index_t n, const std::function<void(index_t)>& body,
                   int threads) {

@@ -33,9 +33,20 @@ namespace tt::support {
 bool in_parallel_region();
 
 /// For OpenMP `if` clauses in kernels: true when the kernel may open its own
-/// OpenMP team, i.e. the caller is not inside a pool region. One definition
-/// of the suppression policy for all kernel files.
-inline bool openmp_allowed() { return !in_parallel_region(); }
+/// OpenMP team, i.e. the caller is not inside a pool region and the process
+/// has not been marked OpenMP-unsafe (forked scheduler workers — see
+/// notify_fork_child()). One definition of the suppression policy for all
+/// kernel files.
+bool openmp_allowed();
+
+/// Must be the first tt call in a freshly fork()ed child process. The child
+/// inherits pool objects whose worker threads do not exist on its side of the
+/// fork (joining or scheduling onto them would hang), and a libgomp runtime
+/// whose team state is not fork-safe. This call abandons every inherited pool
+/// (deliberately leaked — their destructors would join ghost threads) and
+/// permanently suppresses OpenMP regions in this process; fresh pools are
+/// created on demand by the next parallel_for.
+void notify_fork_child();
 
 /// Slot index of the calling participant within the innermost active
 /// parallel_for, in [0, participants); 0 outside any parallel region. Stable

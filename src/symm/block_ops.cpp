@@ -53,35 +53,9 @@ ContractPlan make_contract_plan(const BlockTensor& a, const BlockTensor& b,
   return plan;
 }
 
-namespace {
-
-// One block pair awaiting contraction.
-struct PairWork {
-  const tensor::DenseTensor* ablk = nullptr;
-  const tensor::DenseTensor* bblk = nullptr;
-};
-
-// All pairs contributing to one output block. A bin is the unit of parallel
-// work: exactly one executor thread touches `result`, accumulating its pairs
-// in the fixed enumeration order, so the per-block reduction is
-// deterministic; results are inserted into the output tensor serially in bin
-// order after the parallel region.
-struct Bin {
-  std::vector<PairWork> pairs;
-  tensor::DenseTensor result;
-  std::vector<BlockOpCost> ops;  // pair-enumeration order
-  double flops = 0.0;
-  double permuted_words = 0.0;
-};
-
-}  // namespace
-
-BlockTensor contract(const BlockTensor& a, const BlockTensor& b,
-                     const std::vector<std::pair<int, int>>& pairs,
-                     ContractStats* stats, const ContractOptions& opts) {
-  const ContractPlan plan = make_contract_plan(a, b, pairs);
-  BlockTensor c(plan.out_indices, plan.out_flux);
-
+std::vector<OutputBin> enumerate_bins(const BlockTensor& a, const BlockTensor& b,
+                                      const std::vector<std::pair<int, int>>& pairs,
+                                      const ContractPlan& plan) {
   // --- group B's blocks by contracted sector ids (hash join) -----------------
   using ConKey = std::vector<int>;
   std::map<ConKey, std::vector<const std::pair<const BlockKey, tensor::DenseTensor>*>>
@@ -96,16 +70,26 @@ BlockTensor contract(const BlockTensor& a, const BlockTensor& b,
   // --- bin the Algorithm 2 pair list by output block key ----------------------
   // Enumeration order (A blocks in key order, then B's group order) fixes both
   // the bin order and the within-bin accumulation order; neither depends on
-  // the thread count.
+  // the thread or rank count.
   std::map<BlockKey, std::size_t> bin_of;
-  std::vector<BlockKey> bin_keys;
-  std::vector<Bin> bins;
-  for (const auto& [akey, ablk] : a.blocks()) {
+  std::vector<OutputBin> bins;
+  for (const auto& akv : a.blocks()) {
+    const BlockKey& akey = akv.first;
     ConKey ck(pairs.size());
     for (std::size_t t = 0; t < pairs.size(); ++t)
       ck[t] = akey[static_cast<std::size_t>(pairs[t].first)];
     auto git = b_groups.find(ck);
     if (git == b_groups.end()) continue;
+
+    // m and k depend only on the A block; n on the B block.
+    double m_dim = 1.0, k_dim = 1.0;
+    for (int m : plan.free_a)
+      m_dim *= static_cast<double>(akv.second.dim(m));
+    for (auto [ma, mb] : pairs) {
+      (void)mb;
+      k_dim *= static_cast<double>(akv.second.dim(ma));
+    }
+
     for (const auto* bkv : git->second) {
       BlockKey ckey;
       ckey.reserve(plan.free_a.size() + plan.free_b.size());
@@ -114,51 +98,77 @@ BlockTensor contract(const BlockTensor& a, const BlockTensor& b,
         ckey.push_back(bkv->first[static_cast<std::size_t>(m)]);
       auto [it, inserted] = bin_of.try_emplace(std::move(ckey), bins.size());
       if (inserted) {
-        bin_keys.push_back(it->first);
         bins.emplace_back();
+        bins.back().out_key = it->first;
       }
-      bins[it->second].pairs.push_back({&ablk, &bkv->second});
+      OutputBin& bin = bins[it->second];
+      bin.pairs.push_back({&akey, &bkv->first, &akv.second, &bkv->second});
+      double n_dim = 1.0;
+      for (int m : plan.free_b)
+        n_dim *= static_cast<double>(bkv->second.dim(m));
+      bin.est_flops += 2.0 * m_dim * n_dim * k_dim;
     }
   }
+  return bins;
+}
+
+BinExecution execute_bin(const OutputBin& bin, const std::string& spec,
+                         bool collect_ops,
+                         const std::function<void(const BlockOpCost&)>& hook) {
+  BinExecution out;
+  bool first = true;
+  for (const BinPair& pw : bin.pairs) {
+    tensor::EinsumStats es;
+    tensor::DenseTensor cblk = tensor::einsum(spec, *pw.ablk, *pw.bblk, &es);
+    if (first) {
+      out.result = std::move(cblk);
+      first = false;
+    } else {
+      out.result.axpy(1.0, cblk);
+    }
+
+    BlockOpCost op;
+    op.flops = es.flops;
+    op.words_a = static_cast<double>(pw.ablk->size());
+    op.words_b = static_cast<double>(pw.bblk->size());
+    op.words_c = static_cast<double>(es.m) * static_cast<double>(es.n);
+    out.flops += es.flops;
+    out.permuted_words += es.permuted_words;
+    if (collect_ops) out.ops.push_back(op);
+    if (hook) hook(op);
+  }
+  return out;
+}
+
+BlockTensor contract(const BlockTensor& a, const BlockTensor& b,
+                     const std::vector<std::pair<int, int>>& pairs,
+                     ContractStats* stats, const ContractOptions& opts) {
+  const ContractPlan plan = make_contract_plan(a, b, pairs);
+  BlockTensor c(plan.out_indices, plan.out_flux);
+
+  const std::vector<OutputBin> bins = enumerate_bins(a, b, pairs, plan);
+  std::vector<BinExecution> done(bins.size());
 
   const bool collect_ops = stats != nullptr;
-  auto run_bin = [&](index_t bi) {
-    Bin& bin = bins[static_cast<std::size_t>(bi)];
-    bool first = true;
-    for (const PairWork& pw : bin.pairs) {
-      tensor::EinsumStats es;
-      tensor::DenseTensor cblk = tensor::einsum(plan.spec, *pw.ablk, *pw.bblk, &es);
-      if (first) {
-        bin.result = std::move(cblk);
-        first = false;
-      } else {
-        bin.result.axpy(1.0, cblk);
-      }
-
-      BlockOpCost op;
-      op.flops = es.flops;
-      op.words_a = static_cast<double>(pw.ablk->size());
-      op.words_b = static_cast<double>(pw.bblk->size());
-      op.words_c = static_cast<double>(es.m) * static_cast<double>(es.n);
-      bin.flops += es.flops;
-      bin.permuted_words += es.permuted_words;
-      if (collect_ops) bin.ops.push_back(op);
-      if (opts.block_hook) opts.block_hook(op);
-    }
-  };
-  support::parallel_for(static_cast<index_t>(bins.size()), run_bin,
-                        opts.num_threads);
+  support::parallel_for(
+      static_cast<index_t>(bins.size()),
+      [&](index_t bi) {
+        done[static_cast<std::size_t>(bi)] = execute_bin(
+            bins[static_cast<std::size_t>(bi)], plan.spec, collect_ops,
+            opts.block_hook);
+      },
+      opts.num_threads);
 
   // Serial insertion in bin order (every bin has >= 1 pair, so every result
   // is populated); accumulate() shape-checks each block against the output
   // structure.
   for (std::size_t bi = 0; bi < bins.size(); ++bi)
-    c.accumulate(bin_keys[bi], std::move(bins[bi].result));
+    c.accumulate(bins[bi].out_key, std::move(done[bi].result));
 
   // Deterministic cross-bin reduction: merge in bin order.
   if (stats) {
     stats->num_bins += static_cast<int>(bins.size());
-    for (Bin& bin : bins) {
+    for (BinExecution& bin : done) {
       stats->total_flops += bin.flops;
       stats->permuted_words += bin.permuted_words;
       stats->block_ops.insert(stats->block_ops.end(), bin.ops.begin(),

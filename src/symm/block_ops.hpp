@@ -66,6 +66,52 @@ struct ContractPlan {
 ContractPlan make_contract_plan(const BlockTensor& a, const BlockTensor& b,
                                 const std::vector<std::pair<int, int>>& pairs);
 
+/// One block pair of an output bin. Pointers refer into the operand tensors'
+/// block maps (stable for the operands' lifetime); keys identify the blocks
+/// independently of the map (the distributed scheduler ships blocks by key).
+struct BinPair {
+  const BlockKey* akey = nullptr;
+  const BlockKey* bkey = nullptr;
+  const tensor::DenseTensor* ablk = nullptr;
+  const tensor::DenseTensor* bblk = nullptr;
+};
+
+/// All pairs contributing to one output block — the unit of parallel and of
+/// distributed placement. Pair order is the fixed accumulation order.
+struct OutputBin {
+  BlockKey out_key;
+  std::vector<BinPair> pairs;
+  /// 2·m·n·k summed over pairs, from block shapes alone — the placement
+  /// weight used by the rank partitioner (never fed into ContractStats).
+  double est_flops = 0.0;
+};
+
+/// The Algorithm 2 block-pair list binned by output block key. Bin order and
+/// within-bin pair order are fixed by the enumeration (A blocks in key order,
+/// then B's group order) — they depend only on (a, b, pairs), never on thread
+/// or rank count. This single enumeration backs both the thread-parallel
+/// executor in contract() and the cross-rank placement of rt::Scheduler, so
+/// any distribution reduces in the same order as the serial run.
+std::vector<OutputBin> enumerate_bins(const BlockTensor& a, const BlockTensor& b,
+                                      const std::vector<std::pair<int, int>>& pairs,
+                                      const ContractPlan& plan);
+
+/// Execution record of one bin (the per-bin slice of ContractStats).
+struct BinExecution {
+  tensor::DenseTensor result;
+  std::vector<BlockOpCost> ops;  ///< pair order; filled when collect_ops
+  double flops = 0.0;
+  double permuted_words = 0.0;
+};
+
+/// Contract every pair of `bin` in pair order, accumulating into one output
+/// block. Deterministic: one thread, fixed order — callers parallelize
+/// *across* bins. `hook` (may be empty) fires per pair, as in
+/// ContractOptions::block_hook.
+BinExecution execute_bin(const OutputBin& bin, const std::string& spec,
+                         bool collect_ops,
+                         const std::function<void(const BlockOpCost&)>& hook);
+
 /// Contract `a` with `b` over the given (modeA, modeB) pairs. Contracted leg
 /// pairs must be contractible (equal sector lists, opposite directions).
 /// Output indices: free modes of `a` in order, then free modes of `b`;

@@ -1,0 +1,32 @@
+// Spawn modes exercised by the parameterized transport/scheduler suites.
+//
+// ThreadSanitizer cannot follow fork()ed children (the child inherits the
+// parent's shadow state and TSan's runtime is not fork-safe once threads
+// exist), so sanitizer builds pin the suites to the shared-memory thread
+// transport — which is exactly the leg TSan can meaningfully race-check.
+// Regular builds run both modes.
+#pragma once
+
+#include <vector>
+
+#include "runtime/transport.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define TT_TEST_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TT_TEST_UNDER_TSAN 1
+#endif
+#endif
+
+namespace tt::rt::testing {
+
+inline std::vector<SpawnMode> tested_spawn_modes() {
+#ifdef TT_TEST_UNDER_TSAN
+  return {SpawnMode::kThread};
+#else
+  return {SpawnMode::kProcess, SpawnMode::kThread};
+#endif
+}
+
+}  // namespace tt::rt::testing

@@ -1,0 +1,190 @@
+// Transport faults and framing: echo round trips in both spawn modes, a peer
+// killed mid-exchange surfaces as a clean tt::Error (no hang, no partial
+// data), and corrupt or truncated streams are detected by the framing layer.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runtime/transport.hpp"
+#include "spawn_modes.hpp"
+#include "runtime/wire.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using tt::Error;
+using tt::Timer;
+using tt::rt::Channel;
+using tt::rt::Frame;
+using tt::rt::SpawnMode;
+using tt::rt::WireReader;
+using tt::rt::WireWriter;
+using tt::rt::WorkerGroup;
+
+std::vector<std::byte> payload_of(const std::string& s) {
+  const auto* b = reinterpret_cast<const std::byte*>(s.data());
+  return std::vector<std::byte>(b, b + s.size());
+}
+
+std::string text_of(const Frame& f) {
+  return std::string(reinterpret_cast<const char*>(f.payload.data()),
+                     f.payload.size());
+}
+
+// Echo worker: bounces every frame back with tag+1 until told to stop.
+void echo_worker(int /*rank*/, Channel& ch) {
+  for (;;) {
+    Frame f = ch.recv_frame(30.0);
+    if (f.tag == 0) return;
+    ch.send_frame(f.tag + 1, f.payload, 30.0);
+  }
+}
+
+class TransportModes : public ::testing::TestWithParam<SpawnMode> {};
+
+TEST_P(TransportModes, FramesRoundTripThroughWorkers) {
+  WorkerGroup group(3, GetParam(), echo_worker);
+  for (int rank = 1; rank < 3; ++rank) {
+    Channel& ch = group.channel(rank);
+    ch.send_frame(7, payload_of("hello rank " + std::to_string(rank)), 10.0);
+    Frame f = ch.recv_frame(10.0);
+    EXPECT_EQ(f.tag, 8u);
+    EXPECT_EQ(text_of(f), "hello rank " + std::to_string(rank));
+  }
+  // Large frame (multi-MB: many socketpair buffer round trips).
+  std::vector<std::byte> big(8 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<std::byte>(i * 2654435761u >> 5);
+  group.channel(1).send_frame(9, big, 30.0);
+  Frame f = group.channel(1).recv_frame(30.0);
+  EXPECT_EQ(f.tag, 10u);
+  ASSERT_EQ(f.payload.size(), big.size());
+  EXPECT_EQ(std::memcmp(f.payload.data(), big.data(), big.size()), 0);
+
+  for (int rank = 1; rank < 3; ++rank)
+    group.channel(rank).send_frame(0, {}, 10.0);
+  group.join(10.0);
+}
+
+TEST_P(TransportModes, CountersMeasureActualBytes) {
+  WorkerGroup group(2, GetParam(), echo_worker);
+  Channel& ch = group.channel(1);
+  ch.send_frame(5, payload_of("count me"), 10.0);
+  (void)ch.recv_frame(10.0);
+  // 16-byte header + 8-byte payload, each way.
+  EXPECT_DOUBLE_EQ(ch.bytes_sent(), 24.0);
+  EXPECT_DOUBLE_EQ(ch.bytes_received(), 24.0);
+  EXPECT_GE(ch.send_seconds(), 0.0);
+  EXPECT_GT(ch.recv_seconds(), 0.0);
+  ch.send_frame(0, {}, 10.0);
+  group.join(10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TransportModes,
+                         ::testing::ValuesIn(
+                             tt::rt::testing::tested_spawn_modes()),
+                         [](const auto& info) {
+                           return std::string(tt::rt::spawn_mode_name(info.param));
+                         });
+
+TEST(TransportFault, KilledPeerMidExchangeThrowsCleanlyWithoutHanging) {
+  // Worker dies (SIGKILL) while the root waits for its reply: the recv must
+  // throw within the deadline — never hang, never deliver partial data.
+  WorkerGroup group(2, SpawnMode::kProcess, [](int, Channel& ch) {
+    (void)ch.recv_frame(30.0);  // swallow the request, then get killed
+    ::pause();                  // never replies
+  });
+  group.channel(1).send_frame(1, payload_of("doomed"), 10.0);
+  group.kill(1);
+  Timer t;
+  EXPECT_THROW((void)group.channel(1).recv_frame(5.0), Error);
+  EXPECT_LT(t.seconds(), 5.0);  // EOF detection, not timeout expiry
+  group.join(1.0);
+}
+
+TEST(TransportFault, SendToDeadPeerThrowsInsteadOfSigpipe) {
+  WorkerGroup live(2, SpawnMode::kProcess, [](int, Channel& ch) {
+    (void)ch.recv_frame(30.0);
+  });
+  live.kill(1);
+  // Depending on buffering the first send may land in the kernel buffer, but
+  // a multi-MB payload must hit EPIPE/ECONNRESET and throw (not SIGPIPE).
+  std::vector<std::byte> big(8 << 20);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 4; ++i) live.channel(1).send_frame(2, big, 5.0);
+      },
+      Error);
+  live.join(1.0);
+}
+
+TEST(TransportFault, TruncatedFrameAndBadMagicAreDetected) {
+  // Raw socketpair so the test can tear the stream at arbitrary byte offsets.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Channel root(fds[0]);  // takes ownership; fds[1] stays raw for the test
+
+  const std::uint32_t magic = 0x54544652u;
+  const std::uint32_t tag = 3;
+  std::uint64_t len = 64;
+  std::byte header[16];
+  std::memcpy(header, &magic, 4);
+  std::memcpy(header + 4, &tag, 4);
+  std::memcpy(header + 8, &len, 8);
+
+  // Header promises 64 bytes; only 10 arrive before the peer closes.
+  ASSERT_EQ(::send(fds[1], header, sizeof header, 0),
+            static_cast<ssize_t>(sizeof header));
+  std::byte partial[10] = {};
+  ASSERT_EQ(::send(fds[1], partial, sizeof partial, 0),
+            static_cast<ssize_t>(sizeof partial));
+  ::close(fds[1]);
+  try {
+    (void)root.recv_frame(5.0);
+    FAIL() << "truncated frame was not detected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+
+  // Garbage magic: stream desync must be flagged before any payload is read.
+  int fds2[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds2), 0);
+  Channel root2(fds2[0]);
+  std::byte junk[16];
+  std::memset(junk, 0xab, sizeof junk);
+  ASSERT_EQ(::send(fds2[1], junk, sizeof junk, 0),
+            static_cast<ssize_t>(sizeof junk));
+  try {
+    (void)root2.recv_frame(5.0);
+    FAIL() << "bad frame magic was not detected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
+  ::close(fds2[1]);
+}
+
+TEST(TransportFault, RecvTimesOutOnSilentPeer) {
+  auto [root, peer] = Channel::make_pair();
+  Timer t;
+  try {
+    (void)root.recv_frame(0.2);
+    FAIL() << "recv on a silent peer did not time out";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos);
+  }
+  EXPECT_GE(t.seconds(), 0.2);
+  EXPECT_LT(t.seconds(), 5.0);
+  (void)peer;
+}
+
+TEST(Transport, SpawnModeEnvKnobParses) {
+  EXPECT_STREQ(tt::rt::spawn_mode_name(SpawnMode::kProcess), "process");
+  EXPECT_STREQ(tt::rt::spawn_mode_name(SpawnMode::kThread), "thread");
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Wire encoding round trips: every field type survives write/read bitwise,
+// and torn or oversized messages fail loudly instead of yielding garbage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "runtime/wire.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using tt::Error;
+using tt::Rng;
+using tt::rt::WireReader;
+using tt::rt::WireWriter;
+using tt::tensor::DenseTensor;
+
+TEST(Wire, ScalarFieldsRoundTripInCallOrder) {
+  WireWriter w;
+  w.u32(0xdeadbeefu);
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  w.i64(-1234567890123456789LL);
+  w.f64(3.141592653589793);
+  w.str("block scheduler");
+  w.i32_list({-3, 0, 7});
+
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.i64(), -1234567890123456789LL);
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  EXPECT_EQ(r.str(), "block scheduler");
+  EXPECT_EQ(r.i32_list(), (std::vector<int>{-3, 0, 7}));
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Wire, DoublesTravelBitwiseIncludingSpecialValues) {
+  // The scheduler's rank-parity invariant needs bit patterns, not values:
+  // -0.0, denormals, and NaN payload bits must survive unchanged.
+  const double values[] = {-0.0, std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::infinity(),
+                           std::nan("0x5bad"), 1.0 + 1e-16};
+  WireWriter w;
+  for (double v : values) w.f64(v);
+  WireReader r(w.bytes());
+  for (double v : values) {
+    const double got = r.f64();
+    EXPECT_EQ(std::memcmp(&got, &v, sizeof v), 0);
+  }
+}
+
+TEST(Wire, TensorRoundTripsBitwise) {
+  Rng rng(7);
+  for (const auto& shape :
+       {std::vector<tt::index_t>{3, 4, 2}, {1}, {5, 1, 1, 2}}) {
+    const DenseTensor t = DenseTensor::random(shape, rng);
+    WireWriter w;
+    w.tensor(t);
+    WireReader r(w.bytes());
+    const DenseTensor back = r.tensor();
+    ASSERT_EQ(back.shape(), t.shape());
+    EXPECT_EQ(std::memcmp(back.data(), t.data(),
+                          static_cast<std::size_t>(t.size()) * sizeof(double)),
+              0);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Wire, ScalarTensorRoundTrips) {
+  WireWriter w;
+  w.tensor(DenseTensor::scalar(-2.5));
+  WireReader r(w.bytes());
+  const DenseTensor back = r.tensor();
+  EXPECT_EQ(back.order(), 0);
+  EXPECT_EQ(back[0], -2.5);
+}
+
+TEST(Wire, TruncatedMessageThrowsOnEveryFieldType) {
+  WireWriter w;
+  w.u64(42);
+  std::vector<std::byte> torn(w.bytes().begin(), w.bytes().end() - 3);
+  WireReader r(torn);
+  EXPECT_THROW(r.u64(), Error);
+
+  // A string whose length prefix promises more bytes than the buffer holds.
+  WireWriter ws;
+  ws.str("abcdefgh");
+  std::vector<std::byte> torn_str(ws.bytes().begin(), ws.bytes().end() - 4);
+  WireReader rs(torn_str);
+  EXPECT_THROW(rs.str(), Error);
+
+  // A tensor whose payload was cut mid-block.
+  Rng rng(8);
+  WireWriter wt;
+  wt.tensor(DenseTensor::random({4, 4}, rng));
+  std::vector<std::byte> torn_t(wt.bytes().begin(), wt.bytes().end() - 8);
+  WireReader rt(torn_t);
+  EXPECT_THROW(rt.tensor(), Error);
+}
+
+TEST(Wire, OversizedLengthPrefixIsRejectedNotAllocated) {
+  // A corrupted length prefix must throw, not attempt a huge allocation.
+  WireWriter w;
+  w.u64(std::numeric_limits<std::uint64_t>::max());  // bogus string length
+  WireReader r(w.bytes());
+  EXPECT_THROW(r.str(), Error);
+}
+
+TEST(Wire, TensorWithNegativeDimIsRejected) {
+  WireWriter w;
+  w.i64(2);   // order
+  w.i64(-3);  // dims
+  w.i64(4);
+  WireReader r(w.bytes());
+  EXPECT_THROW(r.tensor(), Error);
+}
+
+TEST(Wire, EmptyMessageIsDoneImmediately) {
+  const std::vector<std::byte> empty;
+  WireReader r(empty);
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.u32(), Error);
+}
+
+}  // namespace
