@@ -69,7 +69,7 @@ int main() {
       auto flops_with = [&](const mps::Mpo& mpo) {
         auto eng = dmrg::make_engine(dmrg::EngineKind::kReference,
                                      {rt::localhost(), 1, 1});
-        dmrg::EnvironmentStack envs(*eng, psi, mpo);
+        dmrg::EnvGraph envs(*eng, psi, mpo);
         const int j = psi.size() / 2;
         auto theta = symm::contract(psi.site(j), psi.site(j + 1), {{2, 0}});
         const rt::CostTracker before = eng->tracker();

@@ -30,7 +30,8 @@ void mark_pareto(std::vector<Point>& pts) {
   }
 }
 
-void panel(const char* title, const tt::rt::MachineModel& machine) {
+void panel(const char* title, const tt::rt::MachineModel& machine,
+           const char* tag, tt::bench::Csv& csv) {
   using namespace tt;
   auto spins = bench::Workload::spins();
   const auto ms = bench::spin_ms();
@@ -77,6 +78,12 @@ void panel(const char* title, const tt::rt::MachineModel& machine) {
     ++printed;
   }
   t.print();
+  // The CSV carries every point, not just the readable subset.
+  for (const auto& p : pts)
+    csv.row({"bench_fig10_pareto_spins", spins.name, tag, p.engine,
+             std::to_string(p.m), std::to_string(p.nodes), std::to_string(p.ppn),
+             fmt_sci(p.rel_time, 6), fmt_sci(p.rel_cost, 6),
+             fmt_sci(p.rate_speedup, 6), p.pareto ? "1" : "0"});
 
   int list_pareto = 0, other_pareto = 0;
   for (const auto& p : pts)
@@ -93,10 +100,13 @@ int main(int argc, char** argv) {
                                   tt::bench::Workload::spins(),
                                   tt::bench::spin_ms()))
     return 0;
+  tt::bench::Csv csv(tt::bench::csv_path(argc, argv),
+                     "driver,workload,machine,engine,m_equiv,nodes,ppn,"
+                     "rel_time,rel_cost,rate_speedup,pareto");
   panel("Fig 10 (left) — spins relative time vs cost, Blue Waters",
-        tt::rt::blue_waters());
+        tt::rt::blue_waters(), "blue_waters", csv);
   panel("Fig 10 (right) — spins relative time vs cost, Stampede2",
-        tt::rt::stampede2());
+        tt::rt::stampede2(), "stampede2", csv);
   std::cout << "Shape to reproduce (paper Fig 10): on Blue Waters the Pareto\n"
                "frontier is all list-algorithm points; best speedups come at\n"
                "modest extra cost (paper: 5.9x-99x rate at ~1.5x cost).\n";

@@ -12,7 +12,8 @@
 
 namespace {
 
-void panel(const char* title, const tt::rt::MachineModel& machine, int ppn) {
+void panel(const char* title, const tt::rt::MachineModel& machine, int ppn,
+           const char* tag, tt::bench::Csv& csv) {
   using namespace tt;
   auto electrons = bench::Workload::electrons();
   const auto ms = bench::electron_ms();
@@ -26,9 +27,13 @@ void panel(const char* title, const tt::rt::MachineModel& machine, int ppn) {
       auto k = bench::measure_step(electrons, kind, m);
       const double secs = bench::sim_seconds(k, bench::cluster(machine, nodes, ppn));
       const double per_node = bench::gflops_equiv(k.flops, secs) / nodes;
+      const double rel = per_node / bench::gflops_equiv(base.flops, base.sim_seconds);
       t.row({dmrg::engine_name(kind), fmt_int(bench::m_equiv(k.m_actual)), std::to_string(nodes),
-             fmt(per_node, 1),
-               fmt(per_node / bench::gflops_equiv(base.flops, base.sim_seconds), 2)});
+             fmt(per_node, 1), fmt(rel, 2)});
+      csv.row({"bench_fig11_weak_scaling_electrons", electrons.name, tag, "weak",
+               dmrg::engine_name(kind), std::to_string(bench::m_equiv(k.m_actual)),
+               std::to_string(nodes), std::to_string(ppn), fmt_sci(per_node, 6),
+               fmt_sci(rel, 6)});
       nodes *= 2;
     }
   }
@@ -52,6 +57,10 @@ void panel(const char* title, const tt::rt::MachineModel& machine, int ppn) {
       }
       pk.row({dmrg::engine_name(kind), std::to_string(nodes), fmt(best, 2),
               fmt_int(best_m)});
+      csv.row({"bench_fig11_weak_scaling_electrons", electrons.name, tag, "peak",
+               dmrg::engine_name(kind), std::to_string(best_m),
+               std::to_string(nodes), std::to_string(ppn), "",
+               fmt_sci(best, 6)});
     }
   }
   pk.print();
@@ -66,9 +75,12 @@ int main(int argc, char** argv) {
                                   tt::bench::Workload::electrons(),
                                   tt::bench::electron_ms()))
     return 0;
+  tt::bench::Csv csv(tt::bench::csv_path(argc, argv),
+                     "driver,workload,machine,series,engine,m_equiv,nodes,ppn,"
+                     "gfs_per_node,rel_efficiency");
   panel("Fig 11 (left) — electrons weak scaling, Blue Waters (16/node)",
-        tt::rt::blue_waters(), 16);
+        tt::rt::blue_waters(), 16, "blue_waters", csv);
   panel("Fig 11 (right) — electrons weak scaling, Stampede2 (64/node)",
-        tt::rt::stampede2(), 64);
+        tt::rt::stampede2(), 64, "stampede2", csv);
   return 0;
 }

@@ -12,7 +12,7 @@
 namespace {
 
 void panel(const char* title, const tt::rt::MachineModel& machine, int ppn,
-           int min_nodes) {
+           int min_nodes, const char* tag, tt::bench::Csv& csv) {
   using namespace tt;
   auto electrons = bench::Workload::electrons();
   const index_t m = bench::electron_ms().back();  // paper: m = 8192
@@ -26,6 +26,10 @@ void panel(const char* title, const tt::rt::MachineModel& machine, int ppn,
     const double speedup = t1 / tn * min_nodes;
     t.row({std::to_string(nodes), fmt_sci(tn, 2), fmt(speedup / min_nodes, 2),
            fmt(speedup / nodes, 2)});
+    csv.row({"bench_fig12_strong_scaling_electrons", electrons.name, tag,
+             std::to_string(bench::m_equiv(k.m_actual)), std::to_string(ppn),
+             std::to_string(nodes), fmt_sci(tn, 6),
+             fmt_sci(speedup / min_nodes, 6), fmt_sci(speedup / nodes, 6)});
   }
   t.print();
   std::cout << "\n";
@@ -39,9 +43,12 @@ int main(int argc, char** argv) {
                                   tt::bench::Workload::electrons(),
                                   tt::bench::electron_ms()))
     return 0;
+  tt::bench::Csv csv(tt::bench::csv_path(argc, argv),
+                     "driver,workload,machine,m_equiv,ppn,nodes,sim_s,speedup,"
+                     "efficiency");
   panel("Fig 12 (left) — electrons sparse-sparse strong scaling at fixed m, Blue Waters",
-        tt::rt::blue_waters(), 16, 2);
+        tt::rt::blue_waters(), 16, 2, "blue_waters", csv);
   panel("Fig 12 (right) — electrons sparse-sparse strong scaling at fixed m, Stampede2",
-        tt::rt::stampede2(), 64, 4);
+        tt::rt::stampede2(), 64, 4, "stampede2", csv);
   return 0;
 }

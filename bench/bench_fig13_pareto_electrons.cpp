@@ -13,7 +13,8 @@
 
 namespace {
 
-void panel(const char* title, const tt::rt::MachineModel& machine, int ppn) {
+void panel(const char* title, const tt::rt::MachineModel& machine, int ppn,
+           const char* tag, tt::bench::Csv& csv) {
   using namespace tt;
   auto electrons = bench::Workload::electrons();
   const auto ms = bench::electron_ms();
@@ -39,6 +40,12 @@ void panel(const char* title, const tt::rt::MachineModel& machine, int ppn) {
              std::to_string(best_nodes), fmt(best_time / base_time, 3),
              fmt(best_time * best_nodes / base_time, 2),
              fmt((k.flops / best_time) / (base.gflops_rate * 1e9), 1)});
+      csv.row({"bench_fig13_pareto_electrons", electrons.name, tag,
+               dmrg::engine_name(kind), std::to_string(bench::m_equiv(k.m_actual)),
+               std::to_string(best_nodes), std::to_string(ppn),
+               fmt_sci(best_time / base_time, 6),
+               fmt_sci(best_time * best_nodes / base_time, 6),
+               fmt_sci((k.flops / best_time) / (base.gflops_rate * 1e9), 6)});
     }
   }
   t.print();
@@ -53,10 +60,13 @@ int main(int argc, char** argv) {
                                   tt::bench::Workload::electrons(),
                                   tt::bench::electron_ms()))
     return 0;
+  tt::bench::Csv csv(tt::bench::csv_path(argc, argv),
+                     "driver,workload,machine,engine,m_equiv,nodes,ppn,"
+                     "rel_time,rel_cost,rate_speedup");
   panel("Fig 13 (left) — electrons relative time vs cost, Blue Waters (16/node)",
-        tt::rt::blue_waters(), 16);
+        tt::rt::blue_waters(), 16, "blue_waters", csv);
   panel("Fig 13 (right) — electrons relative time vs cost, Stampede2 (64/node)",
-        tt::rt::stampede2(), 64);
+        tt::rt::stampede2(), 64, "stampede2", csv);
   std::cout << "Shape to reproduce (paper Fig 13): list is cost-efficient on\n"
                "Blue Waters; sparse-sparse reaches higher rates at higher cost;\n"
                "the cost gap narrows on Stampede2.\n";

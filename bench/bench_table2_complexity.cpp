@@ -53,7 +53,7 @@ int main() {
         // Environment structure: build cheaply via the reference engine.
         auto eng = dmrg::make_engine(dmrg::EngineKind::kReference,
                                      {rt::localhost(), 1, 1});
-        dmrg::EnvironmentStack envs(*eng, psi, w->h);
+        dmrg::EnvGraph envs(*eng, psi, w->h);
         const auto& env = envs.left(j);
         t.row({w->name, fmt_int(psi.bond_dim(j)), fmt_int(theta.num_elements()),
                fmt_int(theta.dense_size()), fmt_int(env.num_elements()),

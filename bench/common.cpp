@@ -15,10 +15,13 @@
 
 namespace tt::bench {
 
-void print_driver_header(const std::string& driver) {
+void print_driver_header(const std::string& driver, dmrg::SweepMode mode,
+                         int regions) {
   std::cout << "[" << driver << "] linalg backend: " << linalg::backend_name()
             << " | threads: " << support::num_threads()
-            << " | scale factor: " << scale_factor() << "\n\n";
+            << " | scale factor: " << scale_factor()
+            << " | sweep: " << dmrg::sweep_mode_name(mode)
+            << " regions=" << regions << "\n\n";
 }
 
 std::string csv_path(int argc, char** argv) {

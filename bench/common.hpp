@@ -26,10 +26,14 @@
 namespace tt::bench {
 
 /// Standard driver banner: driver name, active linalg backend, thread count,
-/// scale factor. Every bench main prints this first so any recorded output
-/// identifies the kernel configuration that produced it (figure
-/// reproductions must note the backend — see docs/BENCHMARKS.md).
-void print_driver_header(const std::string& driver);
+/// scale factor, and the sweep configuration (mode + region count). Every
+/// bench main prints this first so any recorded output identifies the kernel
+/// configuration that produced it (figure reproductions must note the
+/// backend — see docs/BENCHMARKS.md). Drivers that only run single-bond
+/// measured steps use the defaults (serial, 1 region).
+void print_driver_header(const std::string& driver,
+                         dmrg::SweepMode mode = dmrg::SweepMode::kSerial,
+                         int regions = 1);
 
 /// Value of a "--csv <path>" argument, or "" when absent.
 std::string csv_path(int argc, char** argv);

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare fresh bench CSV runs against a committed trajectory snapshot.
+
+The committed snapshots under bench/trajectories/BENCH_*.json record CSV rows
+from prior --csv bench runs (see the "notes" field of the snapshot for the
+measured-vs-replayed caveats). This script re-matches rows from one or more
+fresh CSV files against the snapshot and flags wall-time regressions:
+
+    python3 bench/trajectory_diff.py fig9_ranks2.csv [more.csv ...]
+    python3 bench/trajectory_diff.py --baseline bench/trajectories/BENCH_2026-08-07.json \
+        --threshold 0.10 fig9.csv
+
+Rows are matched on their identity fields (driver, workload, source, engine,
+node/rank counts, ...); the time-like fields of matched pairs are then
+compared. A fresh time more than ``threshold`` (default 10%) above the
+committed one counts as a regression and the script exits 1 — unless
+``--allow-regressions`` is passed, which reports but exits 0 (the CI smoke
+mode: absolute seconds are host-dependent, so shared runners only verify the
+pipeline and print the drift).
+"""
+
+import argparse
+import csv
+import glob
+import json
+import os
+import sys
+
+# Fields that identify a row; everything else is a measured value. A field
+# only participates when both rows carry it.
+IDENTITY_FIELDS = (
+    "driver", "workload", "machine", "source", "series", "panel", "engine",
+    "mode", "regions", "prefetch", "sweep", "m_bench", "m_equiv", "nodes",
+    "ppn", "ranks",
+)
+
+# Time-like value fields, checked against the regression threshold.
+TIME_FIELDS = ("seconds", "sim_s", "wall_s")
+
+
+def default_baseline():
+    here = os.path.dirname(os.path.abspath(__file__))
+    snaps = sorted(glob.glob(os.path.join(here, "trajectories", "BENCH_*.json")))
+    return snaps[-1] if snaps else None
+
+
+def identity(row):
+    return tuple((k, str(row[k])) for k in IDENTITY_FIELDS if k in row and row[k] != "")
+
+
+def load_baseline_rows(path):
+    with open(path) as f:
+        snap = json.load(f)
+    rows = []
+    for run in snap.get("runs", []):
+        rows.extend(run.get("rows", []))
+    return rows
+
+
+def load_csv_rows(path):
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", nargs="+", help="CSV files from fresh --csv runs")
+    ap.add_argument("--baseline", default=default_baseline(),
+                    help="trajectory snapshot (default: newest bench/trajectories/BENCH_*.json)")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative wall-time increase that counts as a regression")
+    ap.add_argument("--allow-regressions", action="store_true",
+                    help="report regressions but exit 0 (CI smoke mode)")
+    args = ap.parse_args()
+
+    if not args.baseline or not os.path.exists(args.baseline):
+        print("trajectory_diff: no baseline snapshot found", file=sys.stderr)
+        return 2
+
+    base_by_id = {}
+    for row in load_baseline_rows(args.baseline):
+        base_by_id[identity(row)] = row
+
+    matched = 0
+    unmatched = 0
+    regressions = []
+    for path in args.fresh:
+        for row in load_csv_rows(path):
+            base = base_by_id.get(identity(row))
+            if base is None:
+                unmatched += 1
+                continue
+            matched += 1
+            for field in TIME_FIELDS:
+                if field not in row or field not in base or row[field] == "":
+                    continue
+                fresh_t = float(row[field])
+                base_t = float(base[field])
+                if base_t <= 0.0:
+                    continue
+                drift = fresh_t / base_t - 1.0
+                label = " ".join(f"{k}={v}" for k, v in identity(row))
+                print(f"{'REGRESSION' if drift > args.threshold else 'ok':10s} "
+                      f"{field}: {base_t:.3e} -> {fresh_t:.3e} ({drift:+.1%})  {label}")
+                if drift > args.threshold:
+                    regressions.append((label, field, base_t, fresh_t))
+
+    print(f"\ntrajectory_diff: {matched} rows matched against "
+          f"{os.path.basename(args.baseline)}, {unmatched} fresh rows had no "
+          f"committed counterpart, {len(regressions)} wall-time regressions "
+          f"beyond {args.threshold:.0%}.")
+    if regressions and not args.allow_regressions:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,76 @@ namespace tt::dmrg {
 
 using symm::BlockTensor;
 
+const char* sweep_mode_name(SweepMode m) {
+  switch (m) {
+    case SweepMode::kSerial: return "serial";
+    case SweepMode::kRealSpace: return "real-space";
+  }
+  return "?";
+}
+
+std::vector<std::pair<int, int>> partition_regions(int n_sites, int regions) {
+  TT_CHECK(n_sites >= 2, "need at least one bond to partition");
+  const int r = std::max(1, std::min(regions, n_sites / 2));
+  std::vector<std::pair<int, int>> out;
+  out.reserve(static_cast<std::size_t>(r));
+  const int base = n_sites / r;
+  const int extra = n_sites % r;
+  int first = 0;
+  for (int i = 0; i < r; ++i) {
+    const int len = base + (i < extra ? 1 : 0);
+    out.emplace_back(first, first + len - 1);
+    first += len;
+  }
+  return out;
+}
+
+namespace detail {
+
+BondUpdate solve_bond(ContractionEngine& eng, BlockTensor theta,
+                      const BlockTensor& left, const BlockTensor& w1,
+                      const BlockTensor& w2, const BlockTensor& right,
+                      const SweepParams& params, bool sweep_right, int bond) {
+  {
+    const real_t n = theta.norm2();
+    TT_CHECK(n > 0.0, "two-site tensor vanished at bond " << bond);
+    theta.scale(1.0 / n);
+  }
+
+  DavidsonOptions dopts;
+  dopts.max_iter = params.davidson_iter;
+  dopts.subspace = params.davidson_subspace;
+  auto apply = [&](const BlockTensor& x) {
+    return apply_two_site(eng, left, w1, w2, right, x);
+  };
+  DavidsonResult res = davidson(apply, std::move(theta), dopts);
+
+  // Split and truncate (paper fig 1e); singular values move with the sweep.
+  symm::TruncParams trunc;
+  trunc.cutoff = params.cutoff;
+  trunc.max_dim = params.max_m;
+  symm::BlockSvd f = eng.svd(res.vector, {0, 1}, trunc);
+
+  BondUpdate u;
+  u.energy = res.eigenvalue;
+  u.trunc_err = f.truncation_error;
+  if (sweep_right) {
+    u.a = std::move(f.u);
+    u.b = f.s_times_vt();
+    // Keep the state normalized after truncation.
+    const real_t n = u.b.norm2();
+    if (n > 0.0) u.b.scale(1.0 / n);
+  } else {
+    u.b = std::move(f.vt);
+    u.a = f.u_times_s();
+    const real_t n = u.a.norm2();
+    if (n > 0.0) u.a.scale(1.0 / n);
+  }
+  return u;
+}
+
+}  // namespace detail
+
 Dmrg::Dmrg(mps::Mps psi, mps::Mpo h, std::unique_ptr<ContractionEngine> engine)
     : psi_(std::move(psi)), h_(std::move(h)), engine_(std::move(engine)) {
   TT_CHECK(engine_ != nullptr, "DMRG needs an engine");
@@ -15,11 +85,11 @@ Dmrg::Dmrg(mps::Mps psi, mps::Mpo h, std::unique_ptr<ContractionEngine> engine)
   TT_CHECK(psi_.size() >= 2, "two-site DMRG needs at least two sites");
   psi_.canonicalize(0);
   psi_.normalize();
-  // The initial environment stacks are amortized setup (every engine produces
-  // identical tensors): build them with the fast reference kernels; all
-  // in-sweep updates still run — and are charged — through the main engine.
+  // The initial environment graph is amortized setup (every engine produces
+  // identical tensors): build it with the fast reference kernels; all
+  // in-sweep production still runs — and is charged — through the main engine.
   auto builder = make_engine(EngineKind::kReference, engine_->cluster());
-  envs_ = std::make_unique<EnvironmentStack>(*engine_, psi_, h_, builder.get());
+  envs_ = std::make_unique<EnvGraph>(*engine_, psi_, h_, builder.get());
 }
 
 real_t Dmrg::optimize_bond(int j, const SweepParams& params, bool sweep_right) {
@@ -29,57 +99,44 @@ real_t Dmrg::optimize_bond(int j, const SweepParams& params, bool sweep_right) {
   BlockTensor theta = engine_->contract(psi_.site(j), Role::kIntermediate,
                                         psi_.site(j + 1), Role::kIntermediate,
                                         {{2, 0}});
-  {
-    const real_t n = theta.norm2();
-    TT_CHECK(n > 0.0, "two-site tensor vanished at bond " << j);
-    theta.scale(1.0 / n);
-  }
-
+  // Demanded after θ on purpose: when the previous bond prefetched this
+  // environment, the join lands here — after the theta contraction already
+  // overlapped with the in-flight extension.
   const BlockTensor& left = envs_->left(j);
   const BlockTensor& right = envs_->right(j + 2);
-  const BlockTensor& w1 = h_.site(j);
-  const BlockTensor& w2 = h_.site(j + 1);
 
-  DavidsonOptions dopts;
-  dopts.max_iter = params.davidson_iter;
-  dopts.subspace = params.davidson_subspace;
-  auto apply = [&](const BlockTensor& x) {
-    return apply_two_site(*engine_, left, w1, w2, right, x);
-  };
-  DavidsonResult res = davidson(apply, std::move(theta), dopts);
-  energy_ = res.eigenvalue;
+  detail::BondUpdate u =
+      detail::solve_bond(*engine_, std::move(theta), left, h_.site(j),
+                         h_.site(j + 1), right, params, sweep_right, j);
+  energy_ = u.energy;
+  trunc_err_ = u.trunc_err;
 
-  // Split and truncate (paper fig 1e); singular values move with the sweep.
-  symm::TruncParams trunc;
-  trunc.cutoff = params.cutoff;
-  trunc.max_dim = params.max_m;
-  symm::BlockSvd f = engine_->svd(res.vector, {0, 1}, trunc);
-  trunc_err_ = f.truncation_error;
-
+  psi_.set_site(j, std::move(u.a));
+  psi_.set_site(j + 1, std::move(u.b));
+  psi_.set_center(sweep_right ? j + 1 : j);
+  envs_->site_changed(j);
+  envs_->site_changed(j + 1);
+  // Refresh the environment the next bond in this direction consumes: async
+  // as a future beside the next Davidson, or eagerly — exactly the old
+  // update_left(j) / update_right(j+1) — when prefetch is off.
   if (sweep_right) {
-    psi_.set_site(j, std::move(f.u));
-    BlockTensor sv = f.s_times_vt();
-    // Keep the state normalized after truncation.
-    const real_t n = sv.norm2();
-    if (n > 0.0) sv.scale(1.0 / n);
-    psi_.set_site(j + 1, std::move(sv));
-    psi_.set_center(j + 1);
-    envs_->update_left(j, psi_, h_);
+    if (params.prefetch)
+      envs_->prefetch_left(j + 1);
+    else
+      (void)envs_->left(j + 1);
   } else {
-    psi_.set_site(j + 1, std::move(f.vt));
-    BlockTensor us = f.u_times_s();
-    const real_t n = us.norm2();
-    if (n > 0.0) us.scale(1.0 / n);
-    psi_.set_site(j, std::move(us));
-    psi_.set_center(j);
-    envs_->update_right(j + 1, psi_, h_);
+    if (params.prefetch)
+      envs_->prefetch_right(j + 1);
+    else
+      (void)envs_->right(j + 1);
   }
-  return res.eigenvalue;
+  return u.energy;
 }
 
-SweepRecord Dmrg::sweep(const SweepParams& params) {
+SweepRecord Dmrg::sweep_serial(const SweepParams& params) {
   Timer timer;
   const rt::CostTracker start = engine_->tracker();
+  const EnvGraph::PrefetchStats pf0 = envs_->prefetch_stats();
   real_t max_trunc = 0.0;
 
   for (int j = 0; j + 1 < psi_.size(); ++j) {
@@ -90,6 +147,8 @@ SweepRecord Dmrg::sweep(const SweepParams& params) {
     optimize_bond(j, params, /*sweep_right=*/false);
     max_trunc = std::max(max_trunc, trunc_err_);
   }
+  // Settle any still-flying prefetch so its cost lands in this record.
+  envs_->sync();
 
   SweepRecord rec;
   rec.sweep = ++sweep_count_;
@@ -98,8 +157,21 @@ SweepRecord Dmrg::sweep(const SweepParams& params) {
   rec.truncation_error = max_trunc;
   rec.wall_seconds = timer.seconds();
   rec.costs = engine_->tracker().diff(start);
+  rec.mode = SweepMode::kSerial;
+  rec.regions = 1;
+  const EnvGraph::PrefetchStats& pf = envs_->prefetch_stats();
+  rec.prefetch_launched = pf.launched - pf0.launched;
+  rec.prefetch_hits = pf.hits - pf0.hits;
+  rec.prefetch_wait_seconds = pf.wait_seconds - pf0.wait_seconds;
   records_.push_back(rec);
   return rec;
+}
+
+SweepRecord Dmrg::sweep(const SweepParams& params) {
+  if (params.mode == SweepMode::kRealSpace &&
+      partition_regions(psi_.size(), params.regions).size() > 1)
+    return sweep_realspace(params);
+  return sweep_serial(params);
 }
 
 real_t Dmrg::run(const std::vector<SweepParams>& schedule) {

@@ -3,19 +3,41 @@
 // Standard algorithm, identical numerics across engines: contract the two
 // center sites, solve the projected eigenproblem with Davidson through the
 // environment network, split with a truncated block SVD, absorb the singular
-// values along the sweep direction, extend the environments incrementally.
+// values along the sweep direction, extend the environments incrementally
+// through the dependency graph (env_graph.hpp).
+//
+// Two sweep modes (SweepMode):
+//   kSerial    — the classic strictly-ordered bond loop. With prefetch on,
+//                the next bond's environment extension runs as a future
+//                beside Davidson; results stay bitwise identical.
+//   kRealSpace — the chain splits into `regions` contiguous regions that
+//                optimize concurrently against frozen boundary environments
+//                (Stoudenmire–White real-space parallelism), then the
+//                boundary bonds are reconciled serially. regions=1 falls
+//                back to the serial sweep, bitwise.
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "dmrg/davidson.hpp"
 #include "dmrg/engine.hpp"
+#include "dmrg/env_graph.hpp"
 #include "dmrg/environment.hpp"
 #include "mps/mpo.hpp"
 #include "mps/mps.hpp"
 
 namespace tt::dmrg {
+
+/// How a sweep traverses the chain (see file comment).
+enum class SweepMode {
+  kSerial,     ///< strictly-ordered bond loop (optionally env-prefetched)
+  kRealSpace,  ///< R concurrent regions + serial boundary reconciliation
+};
+
+/// Stable display name ("serial", "real-space") for banners and CSV rows.
+const char* sweep_mode_name(SweepMode m);
 
 /// Parameters of one sweep (one left-to-right + right-to-left pass).
 struct SweepParams {
@@ -23,6 +45,9 @@ struct SweepParams {
   real_t cutoff = 1e-12;     ///< singular values <= cutoff dropped (paper §II.C)
   int davidson_iter = 2;     ///< matvecs per two-site optimization (paper: 2)
   int davidson_subspace = 2; ///< Davidson restart size (paper: 2)
+  SweepMode mode = SweepMode::kSerial;
+  int regions = 1;           ///< real-space regions; 1 reproduces the serial sweep
+  bool prefetch = false;     ///< overlap env extensions with Davidson (serial mode)
 };
 
 /// Record of a completed sweep.
@@ -33,19 +58,51 @@ struct SweepRecord {
   real_t truncation_error = 0.0;  ///< max over bonds of Σ discarded σ²
   double wall_seconds = 0.0;
   rt::CostTracker costs;          ///< simulated costs of this sweep only
+  SweepMode mode = SweepMode::kSerial;
+  int regions = 1;                ///< regions actually used (after clamping)
+  int boundary_bonds = 0;         ///< serially reconciled bonds (kRealSpace)
+  long prefetch_launched = 0;     ///< env extensions started asynchronously
+  long prefetch_hits = 0;         ///< joins that found the future finished
+  double prefetch_wait_seconds = 0.0;  ///< real time blocked joining futures
 };
+
+/// Split `n_sites` into `regions` contiguous [first, last] site ranges, each
+/// at least two sites (a region must hold one bond); the request is clamped
+/// to [1, n_sites/2]. Earlier regions take the remainder sites.
+std::vector<std::pair<int, int>> partition_regions(int n_sites, int regions);
+
+namespace detail {
+
+/// Result of one two-site update executed out of line of any driver.
+struct BondUpdate {
+  symm::BlockTensor a, b;  ///< new site tensors (left, right of the bond)
+  real_t energy = 0.0;     ///< Davidson eigenvalue
+  real_t trunc_err = 0.0;  ///< Σ discarded σ² of the splitting SVD
+};
+
+/// Solve the effective two-site problem for `theta` between the given
+/// environments, split with a truncated SVD, absorb the singular values in
+/// the sweep direction. Shared by the serial driver and the region workers;
+/// `bond` only labels error messages.
+BondUpdate solve_bond(ContractionEngine& eng, symm::BlockTensor theta,
+                      const symm::BlockTensor& left, const symm::BlockTensor& w1,
+                      const symm::BlockTensor& w2, const symm::BlockTensor& right,
+                      const SweepParams& params, bool sweep_right, int bond);
+
+}  // namespace detail
 
 /// DMRG optimizer owning the state, Hamiltonian, engine, and environments.
 class Dmrg {
  public:
-  /// psi is canonicalized to site 0 and normalized on construction; the right
-  /// environment stack is built immediately.
+  /// psi is canonicalized to site 0 and normalized on construction; the
+  /// environment graph is built immediately.
   Dmrg(mps::Mps psi, mps::Mpo h, std::unique_ptr<ContractionEngine> engine);
 
   /// Run the full schedule; returns the final energy.
   real_t run(const std::vector<SweepParams>& schedule);
 
   /// One full sweep (left-to-right then right-to-left); returns its record.
+  /// Dispatches on params.mode/regions; regions=1 is the serial sweep.
   SweepRecord sweep(const SweepParams& params);
 
   /// Optimize the two sites (j, j+1) once; sweep_right selects which side
@@ -56,6 +113,7 @@ class Dmrg {
   const mps::Mps& psi() const { return psi_; }
   const mps::Mpo& hamiltonian() const { return h_; }
   ContractionEngine& engine() { return *engine_; }
+  EnvGraph& environments() { return *envs_; }
   const std::vector<SweepRecord>& records() const { return records_; }
   real_t last_energy() const { return energy_; }
   real_t last_truncation_error() const { return trunc_err_; }
@@ -64,10 +122,13 @@ class Dmrg {
   real_t energy_expectation();
 
  private:
+  SweepRecord sweep_serial(const SweepParams& params);
+  SweepRecord sweep_realspace(const SweepParams& params);  // sweep_realspace.cpp
+
   mps::Mps psi_;
   mps::Mpo h_;
   std::unique_ptr<ContractionEngine> engine_;
-  std::unique_ptr<EnvironmentStack> envs_;
+  std::unique_ptr<EnvGraph> envs_;
   std::vector<SweepRecord> records_;
   real_t energy_ = 0.0;
   real_t trunc_err_ = 0.0;

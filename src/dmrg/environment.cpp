@@ -66,43 +66,4 @@ BlockTensor apply_two_site(ContractionEngine& eng, const BlockTensor& left,
                       {{1, 2}, {4, 1}});
 }
 
-EnvironmentStack::EnvironmentStack(ContractionEngine& eng, const mps::Mps& psi,
-                                   const mps::Mpo& h, ContractionEngine* builder)
-    : eng_(eng) {
-  const int n = psi.size();
-  TT_CHECK(n == h.size(), "MPS/MPO size mismatch");
-  left_.resize(static_cast<std::size_t>(n) + 1);
-  right_.resize(static_cast<std::size_t>(n) + 1);
-  left_[0] = left_boundary(psi.sites()->qn_rank());
-  right_[static_cast<std::size_t>(n)] = right_boundary(psi.total_qn());
-  ContractionEngine& build_eng = builder ? *builder : eng_;
-  for (int j = n - 1; j >= 1; --j)
-    right_[static_cast<std::size_t>(j)] = extend_right(
-        build_eng, right_[static_cast<std::size_t>(j) + 1], psi.site(j), h.site(j));
-  for (int j = 0; j + 1 < n; ++j)
-    left_[static_cast<std::size_t>(j) + 1] =
-        extend_left(build_eng, left_[static_cast<std::size_t>(j)], psi.site(j), h.site(j));
-}
-
-const BlockTensor& EnvironmentStack::left(int j) const {
-  TT_CHECK(j >= 0 && j < static_cast<int>(left_.size()), "left env " << j << " out of range");
-  return left_[static_cast<std::size_t>(j)];
-}
-
-const BlockTensor& EnvironmentStack::right(int j) const {
-  TT_CHECK(j >= 0 && j < static_cast<int>(right_.size()),
-           "right env " << j << " out of range");
-  return right_[static_cast<std::size_t>(j)];
-}
-
-void EnvironmentStack::update_left(int j, const mps::Mps& psi, const mps::Mpo& h) {
-  left_[static_cast<std::size_t>(j) + 1] =
-      extend_left(eng_, left_[static_cast<std::size_t>(j)], psi.site(j), h.site(j));
-}
-
-void EnvironmentStack::update_right(int j, const mps::Mps& psi, const mps::Mpo& h) {
-  right_[static_cast<std::size_t>(j)] = extend_right(
-      eng_, right_[static_cast<std::size_t>(j) + 1], psi.site(j), h.site(j));
-}
-
 }  // namespace tt::dmrg

@@ -36,30 +36,9 @@ symm::BlockTensor apply_two_site(ContractionEngine& eng, const symm::BlockTensor
                                  const symm::BlockTensor& right,
                                  const symm::BlockTensor& x);
 
-/// Cached environment stacks for a full sweep over psi/h.
-class EnvironmentStack {
- public:
-  /// Builds both environment stacks for the given state. When `builder` is
-  /// non-null it executes the initial (untimed, amortized) construction while
-  /// `eng` remains the engine for all later updates — the benches use a fast
-  /// reference builder so a measured step reflects only the target engine.
-  EnvironmentStack(ContractionEngine& eng, const mps::Mps& psi, const mps::Mpo& h,
-                   ContractionEngine* builder = nullptr);
-
-  /// Environment of everything left of site j (contains sites 0..j-1).
-  const symm::BlockTensor& left(int j) const;
-  /// Environment of everything right of site j (contains sites j..N-1).
-  const symm::BlockTensor& right(int j) const;
-
-  /// Refresh left(j+1) from left(j) after site j's tensor changed.
-  void update_left(int j, const mps::Mps& psi, const mps::Mpo& h);
-  /// Refresh right(j) from right(j+1) after site j's tensor changed.
-  void update_right(int j, const mps::Mps& psi, const mps::Mpo& h);
-
- private:
-  ContractionEngine& eng_;
-  std::vector<symm::BlockTensor> left_;   // left_[j] covers sites < j
-  std::vector<symm::BlockTensor> right_;  // right_[j] covers sites >= j
-};
+// Environment caching lives in dmrg/env_graph.hpp (EnvGraph): environments
+// are nodes of an explicit dependency graph with validity states, demanded
+// through accessors and invalidated through site_changed() instead of the
+// hand-ordered update calls the old EnvironmentStack required.
 
 }  // namespace tt::dmrg

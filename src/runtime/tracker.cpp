@@ -13,6 +13,7 @@ const char* category_name(Category c) {
     case Category::kTranspose: return "CTF transposition";
     case Category::kSvd: return "SVD";
     case Category::kImbalance: return "Load imbalance";
+    case Category::kPrefetch: return "Prefetch";
     case Category::kOther: return "Other";
   }
   return "?";

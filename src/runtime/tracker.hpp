@@ -20,9 +20,10 @@ enum class Category : int {
   kTranspose = 2,  // CTF transposition: local reordering, mapping, small serial ops
   kSvd = 3,        // ScaLAPACK pdgesvd-equivalent
   kImbalance = 4,  // idle time from blocks too small to fill the machine
-  kOther = 5,
+  kPrefetch = 5,   // async environment prefetch overlapped with Davidson
+  kOther = 6,      // keep last: breakdown reports drop the trailing category
 };
-constexpr int kNumCategories = 6;
+constexpr int kNumCategories = 7;
 
 const char* category_name(Category c);
 

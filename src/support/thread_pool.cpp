@@ -226,4 +226,43 @@ void parallel_for(index_t n, const std::function<void(index_t)>& body,
   global_pool(threads - 1).parallel_for(n, threads, body);
 }
 
+TaskQueue::TaskQueue() : thread_([this] { worker_main(); }) {}
+
+TaskQueue::~TaskQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+std::future<void> TaskQueue::submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> fut = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TT_CHECK(!stop_, "submit on a stopped TaskQueue");
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void TaskQueue::worker_main() {
+  // Everything a task runs nests inline on this thread (see class comment).
+  tl_in_region = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop requested and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
 }  // namespace tt::support

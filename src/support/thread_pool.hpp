@@ -18,7 +18,9 @@
 #pragma once
 
 #include <condition_variable>
+#include <deque>
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -101,5 +103,40 @@ void set_num_threads(int n);
 /// the resolved count is 1, n <= 1, or the caller is already inside a region.
 void parallel_for(index_t n, const std::function<void(index_t)>& body,
                   int threads = 0);
+
+/// Single background worker draining submitted tasks in FIFO order — the
+/// async executor behind environment prefetch (dmrg::EnvGraph): the pool's
+/// parallel_for is a synchronous fork-join primitive and cannot overlap work
+/// with its caller, so tasks that must run *beside* the main thread live here.
+///
+/// Tasks execute with in_parallel_region() set on the worker, so any
+/// parallel_for or OpenMP kernel a task reaches runs inline on the worker
+/// thread: the submitting thread keeps the pool, the task costs one core, and
+/// neither side oversubscribes the machine.
+///
+/// Not fork-safe: like ThreadPool, the worker does not survive fork() —
+/// construct after any rt::Scheduler process spawning, or not at all in
+/// forked children.
+class TaskQueue {
+ public:
+  TaskQueue();
+  ~TaskQueue();  // drains the queue, then joins the worker
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  /// Enqueue `fn`; the future becomes ready when it finished (exceptions are
+  /// captured and rethrown from future::get()).
+  std::future<void> submit(std::function<void()> fn);
+
+ private:
+  void worker_main();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> tasks_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 }  // namespace tt::support

@@ -4,6 +4,7 @@
 
 #include "dmrg/davidson.hpp"
 #include "dmrg/engine.hpp"
+#include "dmrg/env_graph.hpp"
 #include "dmrg/environment.hpp"
 #include "ed/ed.hpp"
 #include "models/heisenberg.hpp"
@@ -121,7 +122,7 @@ TEST(Davidson, MatchesEdOnLargerChain) {
   psi.canonicalize(1);
   auto eng = tt::dmrg::make_engine(tt::dmrg::EngineKind::kReference,
                                    {tt::rt::localhost(), 1, 1});
-  tt::dmrg::EnvironmentStack envs(*eng, psi, h);
+  tt::dmrg::EnvGraph envs(*eng, psi, h);
   BlockTensor theta = tt::symm::contract(psi.site(1), psi.site(2), {{2, 0}});
   DavidsonOptions opts;
   opts.max_iter = 60;

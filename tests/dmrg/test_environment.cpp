@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "dmrg/engine.hpp"
+#include "dmrg/env_graph.hpp"
 #include "dmrg/environment.hpp"
 #include "models/heisenberg.hpp"
 #include "models/lattice.hpp"
@@ -11,7 +12,7 @@
 namespace {
 
 using tt::Rng;
-using tt::dmrg::EnvironmentStack;
+using tt::dmrg::EnvGraph;
 using tt::symm::BlockTensor;
 using tt::symm::Dir;
 using tt::symm::QN;
@@ -59,7 +60,7 @@ TEST(Environment, FullLeftContractionGivesExpectation) {
 TEST(Environment, LeftRightMeetAnywhere) {
   Fixture f;
   const double want = tt::mps::expectation(f.psi, f.h);
-  EnvironmentStack envs(*f.eng, f.psi, f.h);
+  EnvGraph envs(*f.eng, f.psi, f.h);
   // For any cut j: L(j) ⋅ site_j ⋅ W_j ⋅ R(j+1) closes to ⟨H⟩.
   for (int j = 0; j < 6; ++j) {
     BlockTensor l = envs.left(j);
@@ -80,7 +81,7 @@ TEST(Environment, CanonicalFormMakesLeftEnvironmentIdentityFree) {
   // effective matvec reproduces the energy quadratic form.
   Fixture f;
   f.psi.canonicalize(2);
-  EnvironmentStack envs(*f.eng, f.psi, f.h);
+  EnvGraph envs(*f.eng, f.psi, f.h);
   BlockTensor theta = tt::symm::contract(f.psi.site(2), f.psi.site(3), {{2, 0}});
   BlockTensor htheta = tt::dmrg::apply_two_site(*f.eng, envs.left(2), f.h.site(2),
                                                 f.h.site(3), envs.right(4), theta);
@@ -91,7 +92,7 @@ TEST(Environment, CanonicalFormMakesLeftEnvironmentIdentityFree) {
 TEST(Environment, MatvecIsSymmetric) {
   Fixture f;
   f.psi.canonicalize(1);
-  EnvironmentStack envs(*f.eng, f.psi, f.h);
+  EnvGraph envs(*f.eng, f.psi, f.h);
   Rng rng(9);
   BlockTensor theta = tt::symm::contract(f.psi.site(1), f.psi.site(2), {{2, 0}});
   BlockTensor x = BlockTensor::random(theta.indices(), theta.flux(), rng);
@@ -107,18 +108,19 @@ TEST(Environment, MatvecIsSymmetric) {
 
 TEST(Environment, UpdateMatchesRebuild) {
   Fixture f;
-  EnvironmentStack envs(*f.eng, f.psi, f.h);
-  envs.update_left(0, f.psi, f.h);
-  envs.update_left(1, f.psi, f.h);
+  EnvGraph envs(*f.eng, f.psi, f.h);
+  // Demanding after invalidation recomputes exactly the update chain.
+  envs.site_changed(0);
+  envs.site_changed(1);
   BlockTensor direct = tt::dmrg::left_boundary(1);
   direct = tt::dmrg::extend_left(*f.eng, direct, f.psi.site(0), f.h.site(0));
   direct = tt::dmrg::extend_left(*f.eng, direct, f.psi.site(1), f.h.site(1));
   EXPECT_LT(tt::symm::max_abs_diff(envs.left(2), direct), 1e-12);
 }
 
-TEST(Environment, StackRangeChecks) {
+TEST(Environment, GraphRangeChecks) {
   Fixture f;
-  EnvironmentStack envs(*f.eng, f.psi, f.h);
+  EnvGraph envs(*f.eng, f.psi, f.h);
   EXPECT_THROW(envs.left(-1), tt::Error);
   EXPECT_THROW(envs.right(8), tt::Error);
   EXPECT_NO_THROW(envs.left(6));
