@@ -111,11 +111,16 @@ real_t Dmrg::optimize_bond(int j, const SweepParams& params, bool sweep_right) {
   energy_ = u.energy;
   trunc_err_ = u.trunc_err;
 
+  // site_changed must precede the set_site calls: it joins any in-flight
+  // prefetch, and at the sweep turn that future's worker is still reading
+  // the old tensor of this very bond (the demand path above never touches
+  // the pending node there) — mutating psi first would race with it. The
+  // invalidation cones depend only on the index, so the early flip is safe.
+  envs_->site_changed(j);
+  envs_->site_changed(j + 1);
   psi_.set_site(j, std::move(u.a));
   psi_.set_site(j + 1, std::move(u.b));
   psi_.set_center(sweep_right ? j + 1 : j);
-  envs_->site_changed(j);
-  envs_->site_changed(j + 1);
   // Refresh the environment the next bond in this direction consumes: async
   // as a future beside the next Davidson, or eagerly — exactly the old
   // update_left(j) / update_right(j+1) — when prefetch is off.

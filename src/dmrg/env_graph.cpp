@@ -1,6 +1,7 @@
 #include "dmrg/env_graph.hpp"
 
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "dmrg/environment.hpp"
@@ -138,10 +139,13 @@ void EnvGraph::prefetch(bool is_left, int j) {
   const BlockTensor* w_t = &h_.site(site);
   ContractionEngine* pe = pf_engine_.get();
   pf_result_ = BlockTensor();
-  pf_future_ = pf_queue_->submit([this, pe, parent_t, psi_t, w_t, is_left] {
-    pf_result_ = is_left ? extend_left(*pe, *parent_t, *psi_t, *w_t)
-                         : extend_right(*pe, *parent_t, *psi_t, *w_t);
-  });
+  const std::chrono::milliseconds delay = pf_test_delay_;
+  pf_future_ =
+      pf_queue_->submit([this, pe, parent_t, psi_t, w_t, is_left, delay] {
+        if (delay.count() > 0) std::this_thread::sleep_for(delay);
+        pf_result_ = is_left ? extend_left(*pe, *parent_t, *psi_t, *w_t)
+                             : extend_right(*pe, *parent_t, *psi_t, *w_t);
+      });
   node.state = NodeState::kPending;
   pf_active_ = true;
   pf_is_left_ = is_left;

@@ -25,6 +25,7 @@
 // with prefetch on or off.
 #pragma once
 
+#include <chrono>
 #include <future>
 #include <memory>
 #include <vector>
@@ -96,6 +97,14 @@ class EnvGraph {
 
   const PrefetchStats& prefetch_stats() const { return pf_stats_; }
 
+  /// Test seam: sleep injected in the worker before each prefetched
+  /// extension. Widens the in-flight window so that a mutation racing the
+  /// worker (e.g. at the sweep turn) is deterministically observable under
+  /// TSan instead of depending on scheduling luck. Zero (default) is a no-op.
+  void set_prefetch_delay_for_testing(std::chrono::milliseconds d) {
+    pf_test_delay_ = d;
+  }
+
   int size() const { return n_; }
 
  private:
@@ -127,6 +136,7 @@ class EnvGraph {
   bool pf_is_left_ = false;
   int pf_node_ = -1;
   PrefetchStats pf_stats_;
+  std::chrono::milliseconds pf_test_delay_{0};
 };
 
 }  // namespace tt::dmrg

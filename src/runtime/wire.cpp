@@ -75,7 +75,8 @@ std::string WireReader::str() {
 
 std::vector<int> WireReader::i32_list() {
   const std::uint64_t n = u64();
-  TT_CHECK(n * sizeof(std::uint32_t) <= kMaxFieldBytes,
+  // Divide, don't multiply: n * sizeof(uint32) wraps for n >= 2^62.
+  TT_CHECK(n <= kMaxFieldBytes / sizeof(std::uint32_t),
            "wire list length " << n << " exceeds limit");
   std::vector<int> v(static_cast<std::size_t>(n));
   for (auto& x : v) x = static_cast<int>(u32());
@@ -85,15 +86,25 @@ std::vector<int> WireReader::i32_list() {
 tensor::DenseTensor WireReader::tensor() {
   const std::uint64_t order = u64();
   TT_CHECK(order <= 64, "wire tensor order " << order << " exceeds limit");
+  // Bound the element count with overflow-safe math *before* constructing
+  // the DenseTensor: its constructor multiplies the dims unchecked (signed
+  // overflow UB for a corrupt shape) and allocates the product.
+  constexpr std::uint64_t kMaxElems = kMaxFieldBytes / sizeof(double);
   std::vector<index_t> shape(static_cast<std::size_t>(order));
+  std::uint64_t elems = 1;
   for (auto& d : shape) {
     d = i64();
     TT_CHECK(d >= 0, "wire tensor has negative dimension " << d);
+    if (d == 0) {
+      elems = 0;
+    } else if (elems != 0) {
+      TT_CHECK(static_cast<std::uint64_t>(d) <= kMaxElems / elems,
+               "wire tensor payload exceeds limit");
+      elems *= static_cast<std::uint64_t>(d);
+    }
   }
   tensor::DenseTensor t(std::move(shape));
-  const std::uint64_t bytes = static_cast<std::uint64_t>(t.size()) * sizeof(double);
-  TT_CHECK(bytes <= kMaxFieldBytes, "wire tensor payload " << bytes << " exceeds limit");
-  raw(t.data(), static_cast<std::size_t>(bytes));
+  raw(t.data(), static_cast<std::size_t>(elems) * sizeof(double));
   return t;
 }
 

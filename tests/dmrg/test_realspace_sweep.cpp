@@ -3,6 +3,7 @@
 // same ground state deterministically.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <vector>
 
 #include "dmrg/dmrg.hpp"
@@ -114,6 +115,27 @@ TEST(RealSpaceSweep, PrefetchIsBitwiseSerial) {
     EXPECT_EQ(r.prefetch_launched, 0);
     EXPECT_EQ(r.costs.time(tt::rt::Category::kPrefetch), 0.0);
   }
+}
+
+TEST(RealSpaceSweep, SlowPrefetchStaysInFlightAcrossTheTurn) {
+  // Regression for the sweep-turn race: the last L2R bond launches
+  // prefetch_left(N-1), whose worker reads site N-2, and the first R2L bond
+  // re-optimizes that same bond without ever demanding the pending node — so
+  // the join must come from site_changed *before* set_site replaces the
+  // tensor the worker is reading. The injected worker delay keeps the future
+  // in flight across the turn, so under TSan a regressed ordering is a
+  // deterministic report instead of scheduling luck.
+  const int n = 6, sweeps = 2;
+  Dmrg eager = heisenberg_solver(n);
+  auto ra = run_sweeps(eager, params_for(12), sweeps);
+  Dmrg slow = heisenberg_solver(n);
+  slow.environments().set_prefetch_delay_for_testing(
+      std::chrono::milliseconds(10));
+  auto rb = run_sweeps(slow, params_for(12, SweepMode::kSerial, 1, true), sweeps);
+  expect_bitwise_equal(ra, rb, eager, slow, "slow prefetch");
+  long blocked = 0;
+  for (const auto& r : rb) blocked += r.prefetch_launched - r.prefetch_hits;
+  EXPECT_GT(blocked, 0);  // the delay really forced joins to block in flight
 }
 
 TEST(RealSpaceSweep, SerialSweepInvariantUnderThreadCount) {

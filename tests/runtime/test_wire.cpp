@@ -109,6 +109,34 @@ TEST(Wire, OversizedLengthPrefixIsRejectedNotAllocated) {
   EXPECT_THROW(r.str(), Error);
 }
 
+TEST(Wire, TensorWithOverflowingDimProductIsRejected) {
+  // A corrupt shape whose element count overflows 64 bits (64 dims of 2^40)
+  // must throw cleanly before DenseTensor multiplies the dims or allocates.
+  WireWriter w;
+  w.u64(64);
+  for (int i = 0; i < 64; ++i) w.i64(std::int64_t{1} << 40);
+  WireReader r(w.bytes());
+  EXPECT_THROW(r.tensor(), Error);
+
+  // Non-overflowing product just past the payload cap (2^27 + 2^15 doubles
+  // against the 2^27-element = 1 GiB limit): same clean rejection.
+  WireWriter w2;
+  w2.u64(2);
+  w2.i64(std::int64_t{1} << 15);
+  w2.i64((std::int64_t{1} << 12) + 1);
+  WireReader r2(w2.bytes());
+  EXPECT_THROW(r2.tensor(), Error);
+}
+
+TEST(Wire, ListLengthOverflowIsRejected) {
+  // n * sizeof(uint32) wraps to a small value for n >= 2^62; the guard must
+  // reject the length itself, not the wrapped product.
+  WireWriter w;
+  w.u64(std::uint64_t{1} << 62);
+  WireReader r(w.bytes());
+  EXPECT_THROW(r.i32_list(), Error);
+}
+
 TEST(Wire, TensorWithNegativeDimIsRejected) {
   WireWriter w;
   w.i64(2);   // order
