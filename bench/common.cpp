@@ -24,13 +24,19 @@ void print_driver_header(const std::string& driver, dmrg::SweepMode mode,
             << " regions=" << regions << "\n\n";
 }
 
-std::string csv_path(int argc, char** argv) {
+std::string arg_value(int argc, char** argv, const char* flag,
+                      const std::string& fallback) {
   for (int i = 1; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], "--csv") == 0) return argv[i + 1];
-  return "";
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return fallback;
+}
+
+std::string csv_path(int argc, char** argv) {
+  return arg_value(argc, argv, "--csv");
 }
 
 Csv::Csv(const std::string& path, const std::string& header) {
+  if (path.empty()) return;  // no --csv flag: stay inactive, don't warn
   auto out = std::make_shared<std::ofstream>(path);
   if (!*out) {
     std::cerr << "warning: cannot open --csv path '" << path << "'\n";

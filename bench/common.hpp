@@ -35,6 +35,10 @@ void print_driver_header(const std::string& driver,
                          dmrg::SweepMode mode = dmrg::SweepMode::kSerial,
                          int regions = 1);
 
+/// Value of a "--flag <value>" argument, or `fallback` when absent.
+std::string arg_value(int argc, char** argv, const char* flag,
+                      const std::string& fallback = "");
+
 /// Value of a "--csv <path>" argument, or "" when absent.
 std::string csv_path(int argc, char** argv);
 

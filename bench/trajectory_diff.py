@@ -48,18 +48,42 @@ def identity(row):
     return tuple((k, str(row[k])) for k in IDENTITY_FIELDS if k in row and row[k] != "")
 
 
+def fail(message):
+    """Exit 2 with a one-line diagnostic instead of a traceback."""
+    print(f"trajectory_diff: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
 def load_baseline_rows(path):
-    with open(path) as f:
-        snap = json.load(f)
+    try:
+        with open(path) as f:
+            snap = json.load(f)
+    except OSError as e:
+        fail(f"cannot read baseline snapshot '{path}': {e.strerror}")
+    except json.JSONDecodeError as e:
+        fail(f"baseline snapshot '{path}' is not valid JSON ({e})")
     rows = []
     for run in snap.get("runs", []):
         rows.extend(run.get("rows", []))
+    if not rows:
+        fail(f"baseline snapshot '{path}' contains no rows "
+             "(expected runs[].rows from a --csv bench run)")
     return rows
 
 
 def load_csv_rows(path):
-    with open(path, newline="") as f:
-        return list(csv.DictReader(f))
+    try:
+        with open(path, newline="") as f:
+            reader = csv.DictReader(f)
+            if reader.fieldnames is None:
+                fail(f"'{path}' is empty — expected a --csv bench output with a "
+                     "header row")
+            if not any(t in reader.fieldnames for t in TIME_FIELDS):
+                fail(f"'{path}' has none of the time columns "
+                     f"({', '.join(TIME_FIELDS)}) — is this a --csv bench output?")
+            return list(reader)
+    except OSError as e:
+        fail(f"cannot read CSV '{path}': {e.strerror}")
 
 
 def main():
@@ -94,8 +118,12 @@ def main():
             for field in TIME_FIELDS:
                 if field not in row or field not in base or row[field] == "":
                     continue
-                fresh_t = float(row[field])
-                base_t = float(base[field])
+                try:
+                    fresh_t = float(row[field])
+                    base_t = float(base[field])
+                except ValueError:
+                    fail(f"non-numeric '{field}' in '{path}' "
+                         f"(fresh={row[field]!r}, baseline={base[field]!r})")
                 if base_t <= 0.0:
                     continue
                 drift = fresh_t / base_t - 1.0

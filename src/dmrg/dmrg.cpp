@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dmrg/checkpoint.hpp"
+#include "runtime/fault.hpp"
 #include "support/timer.hpp"
 
 namespace tt::dmrg {
@@ -138,19 +140,65 @@ real_t Dmrg::optimize_bond(int j, const SweepParams& params, bool sweep_right) {
   return u.energy;
 }
 
+void Dmrg::maybe_checkpoint(const SweepParams& params, int phase, int bond) {
+  // No snapshot after the sweep's final bond: its position would point into
+  // the *next* sweep, which run()/resume() already handle via sweep_count.
+  const bool last_bond = (phase == 1 && bond == 0);
+  if (ckpt_ != nullptr && params.checkpoint_every > 0 && !last_bond &&
+      ++bonds_since_ckpt_ >= params.checkpoint_every) {
+    bonds_since_ckpt_ = 0;
+    SweepPosition pos;
+    pos.schedule_pos = schedule_pos_;
+    pos.sweep_count = sweep_count_;
+    if (phase == 0 && bond + 1 < psi_.size() - 1) {
+      pos.phase = 0;
+      pos.next_bond = bond + 1;
+    } else if (phase == 0) {  // left-to-right pass done; turn around
+      pos.phase = 1;
+      pos.next_bond = psi_.size() - 2;
+    } else {
+      pos.phase = 1;
+      pos.next_bond = bond - 1;
+    }
+    pos.center = psi_.center();
+    pos.energy = energy_;
+    pos.trunc_err = trunc_err_;
+    pos.max_trunc_partial = max_trunc_partial_;
+    ckpt_->save(psi_, pos, records_);
+  }
+  // Deterministic mid-sweep crash for the checkpoint/restart tests: `nth`
+  // counts completed bonds in sweep order, the exact sites where a snapshot
+  // could have been taken.
+  if (rt::FaultInjector::instance().should_fire("dmrg.kill_sweep"))
+    TT_FAIL("fault injection: dmrg.kill_sweep at sweep " << sweep_count_
+                                                         << " phase " << phase
+                                                         << " bond " << bond);
+}
+
 SweepRecord Dmrg::sweep_serial(const SweepParams& params) {
+  return sweep_serial_from(params, /*phase=*/0, /*start_bond=*/0,
+                           /*max_trunc0=*/0.0);
+}
+
+SweepRecord Dmrg::sweep_serial_from(const SweepParams& params, int phase,
+                                    int start_bond, real_t max_trunc0) {
   Timer timer;
   const rt::CostTracker start = engine_->tracker();
   const EnvGraph::PrefetchStats pf0 = envs_->prefetch_stats();
-  real_t max_trunc = 0.0;
+  max_trunc_partial_ = max_trunc0;
 
-  for (int j = 0; j + 1 < psi_.size(); ++j) {
-    optimize_bond(j, params, /*sweep_right=*/true);
-    max_trunc = std::max(max_trunc, trunc_err_);
+  if (phase == 0) {
+    for (int j = start_bond; j + 1 < psi_.size(); ++j) {
+      optimize_bond(j, params, /*sweep_right=*/true);
+      max_trunc_partial_ = std::max(max_trunc_partial_, trunc_err_);
+      maybe_checkpoint(params, 0, j);
+    }
   }
-  for (int j = psi_.size() - 2; j >= 0; --j) {
+  const int rl_start = phase == 0 ? psi_.size() - 2 : start_bond;
+  for (int j = rl_start; j >= 0; --j) {
     optimize_bond(j, params, /*sweep_right=*/false);
-    max_trunc = std::max(max_trunc, trunc_err_);
+    max_trunc_partial_ = std::max(max_trunc_partial_, trunc_err_);
+    maybe_checkpoint(params, 1, j);
   }
   // Settle any still-flying prefetch so its cost lands in this record.
   envs_->sync();
@@ -159,7 +207,7 @@ SweepRecord Dmrg::sweep_serial(const SweepParams& params) {
   rec.sweep = ++sweep_count_;
   rec.energy = energy_;
   rec.max_bond_dim = psi_.max_bond_dim();
-  rec.truncation_error = max_trunc;
+  rec.truncation_error = max_trunc_partial_;
   rec.wall_seconds = timer.seconds();
   rec.costs = engine_->tracker().diff(start);
   rec.mode = SweepMode::kSerial;
@@ -181,7 +229,51 @@ SweepRecord Dmrg::sweep(const SweepParams& params) {
 
 real_t Dmrg::run(const std::vector<SweepParams>& schedule) {
   TT_CHECK(!schedule.empty(), "empty sweep schedule");
-  for (const SweepParams& p : schedule) sweep(p);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    schedule_pos_ = static_cast<int>(i);
+    sweep(schedule[i]);
+  }
+  return energy_;
+}
+
+real_t Dmrg::resume(const std::vector<SweepParams>& schedule) {
+  TT_CHECK(!schedule.empty(), "empty sweep schedule");
+  TT_CHECK(ckpt_ != nullptr, "resume() needs set_checkpointing() first");
+  CheckpointData data = ckpt_->load(psi_.sites());
+  TT_CHECK(data.pos.schedule_pos < static_cast<int>(schedule.size()),
+           "checkpoint is at sweep " << data.pos.schedule_pos
+                                     << " of a longer schedule ("
+                                     << schedule.size() << " sweeps given)");
+  TT_CHECK(data.pos.next_bond + 1 < psi_.size(),
+           "checkpoint bond " << data.pos.next_bond
+                              << " out of range for this chain");
+
+  envs_->sync();  // retire any in-flight prefetch before dropping the graph
+  psi_ = std::move(data.psi);
+  psi_.set_center(data.pos.center);
+  psi_.check_consistency();
+  records_ = std::move(data.history);
+  energy_ = data.pos.energy;
+  trunc_err_ = data.pos.trunc_err;
+  sweep_count_ = data.pos.sweep_count;
+  bonds_since_ckpt_ = 0;
+
+  // Rebuild the whole environment graph from the restored state. A valid
+  // node is a deterministic function of its cone's site tensors, and the
+  // engines are bit-equivalent, so eager rebuild reproduces the tensors the
+  // incremental maintenance held at snapshot time — bitwise.
+  auto builder = make_engine(EngineKind::kReference, engine_->cluster());
+  envs_ = std::make_unique<EnvGraph>(*engine_, psi_, h_, builder.get());
+
+  schedule_pos_ = data.pos.schedule_pos;
+  sweep_serial_from(schedule[static_cast<std::size_t>(schedule_pos_)],
+                    data.pos.phase, data.pos.next_bond,
+                    data.pos.max_trunc_partial);
+  for (std::size_t i = static_cast<std::size_t>(schedule_pos_) + 1;
+       i < schedule.size(); ++i) {
+    schedule_pos_ = static_cast<int>(i);
+    sweep(schedule[i]);
+  }
   return energy_;
 }
 

@@ -30,6 +30,8 @@
 
 namespace tt::dmrg {
 
+class CheckpointManager;  // dmrg/checkpoint.hpp
+
 /// How a sweep traverses the chain (see file comment).
 enum class SweepMode {
   kSerial,     ///< strictly-ordered bond loop (optionally env-prefetched)
@@ -48,6 +50,7 @@ struct SweepParams {
   SweepMode mode = SweepMode::kSerial;
   int regions = 1;           ///< real-space regions; 1 reproduces the serial sweep
   bool prefetch = false;     ///< overlap env extensions with Davidson (serial mode)
+  int checkpoint_every = 0;  ///< bonds between snapshots (serial mode); 0 = off
 };
 
 /// Record of a completed sweep.
@@ -101,6 +104,20 @@ class Dmrg {
   /// Run the full schedule; returns the final energy.
   real_t run(const std::vector<SweepParams>& schedule);
 
+  /// Snapshot through `ckpt` every SweepParams::checkpoint_every bonds
+  /// (serial sweeps). nullptr turns checkpointing off. The manager is
+  /// borrowed, not owned, and must outlive the run.
+  void set_checkpointing(CheckpointManager* ckpt) { ckpt_ = ckpt; }
+
+  /// Restart an interrupted run() of the same schedule from the latest
+  /// snapshot of the attached CheckpointManager: reload the MPS (bitwise),
+  /// rebuild every environment through the graph, finish the interrupted
+  /// sweep from its stored mid-sweep position, then run the rest of the
+  /// schedule. The final energy is bitwise identical to the uninterrupted
+  /// run — sweeps, SVD, and Davidson are deterministic, and environment
+  /// rebuild is bit-equivalent to incremental maintenance.
+  real_t resume(const std::vector<SweepParams>& schedule);
+
   /// One full sweep (left-to-right then right-to-left); returns its record.
   /// Dispatches on params.mode/regions; regions=1 is the serial sweep.
   SweepRecord sweep(const SweepParams& params);
@@ -125,6 +142,18 @@ class Dmrg {
   SweepRecord sweep_serial(const SweepParams& params);
   SweepRecord sweep_realspace(const SweepParams& params);  // sweep_realspace.cpp
 
+  /// The serial bond loop, entered mid-sweep: phase 0 starts the
+  /// left-to-right pass at start_bond, phase 1 skips it and starts the
+  /// right-to-left pass there. max_trunc0 seeds the running truncation
+  /// maximum with the interrupted sweep's partial value. sweep_serial
+  /// delegates here with (0, 0, 0.0).
+  SweepRecord sweep_serial_from(const SweepParams& params, int phase,
+                                int start_bond, real_t max_trunc0);
+
+  /// After bond (j, phase) completed: snapshot if a manager is attached and
+  /// the cadence says so, then evaluate the dmrg.kill_sweep fault point.
+  void maybe_checkpoint(const SweepParams& params, int phase, int bond);
+
   mps::Mps psi_;
   mps::Mpo h_;
   std::unique_ptr<ContractionEngine> engine_;
@@ -133,6 +162,10 @@ class Dmrg {
   real_t energy_ = 0.0;
   real_t trunc_err_ = 0.0;
   int sweep_count_ = 0;
+  CheckpointManager* ckpt_ = nullptr;  // borrowed; see set_checkpointing
+  long bonds_since_ckpt_ = 0;
+  int schedule_pos_ = 0;               // sweep index inside the running schedule
+  real_t max_trunc_partial_ = 0.0;     // running max of the in-flight sweep
 };
 
 /// Convenience: geometric bond-dimension ramp-up schedule

@@ -1,6 +1,7 @@
 #include "mps/io.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -25,8 +26,10 @@ QN read_qn(std::istream& is) {
   if (rank == 0) return QN::zero(0);
   int q0 = 0, q1 = 0;
   is >> q0;
+  TT_CHECK(is, "truncated stream inside QN charges");
   if (rank == 1) return QN(q0);
   is >> q1;
+  TT_CHECK(is, "truncated stream inside QN charges");
   return QN(q0, q1);
 }
 
@@ -50,24 +53,11 @@ Index read_index(std::istream& is) {
     QN q = read_qn(is);
     index_t dim = 0;
     is >> dim;
+    TT_CHECK(is && dim > 0, "corrupt index sector dimension");
     sectors.push_back({q, dim});
   }
   TT_CHECK(is, "corrupt index sectors");
   return Index(sectors, dir == "I" ? Dir::In : Dir::Out);
-}
-
-// Exact double round-trip via hexfloat.
-void write_value(std::ostream& os, real_t v) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%a", v);
-  os << buf;
-}
-
-real_t read_value(std::istream& is) {
-  std::string tok;
-  is >> tok;
-  TT_CHECK(is, "corrupt tensor value");
-  return std::strtod(tok.c_str(), nullptr);
 }
 
 void write_block_tensor(std::ostream& os, const BlockTensor& t) {
@@ -81,7 +71,7 @@ void write_block_tensor(std::ostream& os, const BlockTensor& t) {
     os << "\n";
     for (index_t i = 0; i < blk.size(); ++i) {
       if (i) os << " ";
-      write_value(os, blk[i]);
+      write_real_hex(os, blk[i]);
     }
     os << "\n";
   }
@@ -104,7 +94,7 @@ BlockTensor read_block_tensor(std::istream& is) {
     for (int m = 0; m < order; ++m) is >> key[static_cast<std::size_t>(m)];
     TT_CHECK(is, "corrupt block key");
     tensor::DenseTensor& blk = t.block(key);  // validates conservation
-    for (index_t i = 0; i < blk.size(); ++i) blk[i] = read_value(is);
+    for (index_t i = 0; i < blk.size(); ++i) blk[i] = read_real_hex(is);
   }
   return t;
 }
@@ -114,7 +104,43 @@ void check_phys_match(const BlockTensor& t, int mode, const SiteSet& sites) {
            "stored tensor's physical leg does not match the site set");
 }
 
+// Reads "<magic> <version>" and rejects truncation, wrong magic, and
+// unsupported versions with three distinct errors — a reader pointed at the
+// wrong kind of file (or a file from a future format) says so instead of
+// failing deeper in with a misleading "corrupt" message.
+void read_header(std::istream& is, const char* expect_magic, int expect_version) {
+  std::string magic;
+  is >> magic;
+  TT_CHECK(is, "truncated stream: missing " << expect_magic << " header");
+  TT_CHECK(magic == expect_magic, "bad magic '" << magic << "': not a "
+                                                << expect_magic << " stream");
+  int version = 0;
+  is >> version;
+  TT_CHECK(is, "truncated stream: missing " << expect_magic << " version");
+  TT_CHECK(version == expect_version,
+           "unsupported " << expect_magic << " version " << version
+                          << " (reader understands version " << expect_version
+                          << ")");
+}
+
 }  // namespace
+
+void write_real_hex(std::ostream& os, real_t v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  os << buf;
+}
+
+real_t read_real_hex(std::istream& is) {
+  std::string tok;
+  is >> tok;
+  TT_CHECK(is, "truncated stream: missing numeric value");
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  TT_CHECK(end == tok.c_str() + tok.size() && !tok.empty(),
+           "corrupt numeric value '" << tok << "'");
+  return v;
+}
 
 void write_mps(std::ostream& os, const Mps& psi) {
   os << "TTMPS 1\n" << psi.size() << " " << psi.sites()->qn_rank() << "\n";
@@ -122,10 +148,10 @@ void write_mps(std::ostream& os, const Mps& psi) {
 }
 
 Mps read_mps(std::istream& is, SiteSetPtr sites) {
-  std::string magic;
-  int version = 0, n = 0, rank = 0;
-  is >> magic >> version >> n >> rank;
-  TT_CHECK(is && magic == "TTMPS" && version == 1, "not a TTMPS-v1 stream");
+  read_header(is, "TTMPS", 1);
+  int n = 0, rank = 0;
+  is >> n >> rank;
+  TT_CHECK(is, "truncated stream: missing TTMPS size header");
   TT_CHECK(sites && sites->size() == n,
            "stream holds " << n << " sites, site set has "
                            << (sites ? sites->size() : 0));
@@ -148,10 +174,10 @@ void write_mpo(std::ostream& os, const Mpo& h) {
 }
 
 Mpo read_mpo(std::istream& is, SiteSetPtr sites) {
-  std::string magic;
-  int version = 0, n = 0, rank = 0;
-  is >> magic >> version >> n >> rank;
-  TT_CHECK(is && magic == "TTMPO" && version == 1, "not a TTMPO-v1 stream");
+  read_header(is, "TTMPO", 1);
+  int n = 0, rank = 0;
+  is >> n >> rank;
+  TT_CHECK(is, "truncated stream: missing TTMPO size header");
   TT_CHECK(sites && sites->size() == n, "MPO site count mismatch");
   TT_CHECK(sites->qn_rank() == rank, "QN rank mismatch");
   std::vector<BlockTensor> tensors;

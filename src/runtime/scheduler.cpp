@@ -1,8 +1,11 @@
 #include "runtime/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <unordered_map>
 
+#include "runtime/fault.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -21,16 +24,23 @@ constexpr std::uint32_t kTagShutdown = 3;
 constexpr std::uint32_t kTagError = 4;
 
 // Workers idle between contractions; a crashed root surfaces as EOF, not a
-// timeout, so the idle wait can be generous.
+// timeout, so the idle wait can be far more generous than the per-operation
+// kDefaultTimeoutSeconds.
 constexpr double kWorkerIdleTimeout = 3600.0;
 
 // Worker-side view of one task: operand block tables plus bins referencing
 // them by table index. Tensor storage is owned here; bins point into it.
+// The two fault flags are decided by the *root* (fault points
+// worker.kill_before_result / worker.fail_task) and shipped in the frame, so
+// their nth/count counters are exact in both spawn modes — a fork()ed
+// worker's own injector copy would count per-process.
 struct WorkerTask {
   std::string spec;
   int threads = 1;
   bool collect_ops = false;
-  double timeout_seconds = 120.0;
+  bool kill_before_result = false;
+  bool fail_task = false;
+  double timeout_seconds = kDefaultTimeoutSeconds;
   std::vector<tensor::DenseTensor> table_a, table_b;
   std::vector<std::uint64_t> bin_index;   // global bin ids, root's order
   std::vector<symm::OutputBin> bins;      // keys unused (wire ships no keys)
@@ -42,6 +52,8 @@ WorkerTask parse_task(const std::vector<std::byte>& payload) {
   task.spec = r.str();
   task.threads = static_cast<int>(r.u32());
   task.collect_ops = r.u32() != 0;
+  task.kill_before_result = r.u32() != 0;
+  task.fail_task = r.u32() != 0;
   task.timeout_seconds = r.f64();
 
   const std::uint64_t na = r.u64();
@@ -113,7 +125,6 @@ std::vector<std::byte> run_task(const WorkerTask& task) {
 // Worker service loop: one task in, one result (or error) out, until the
 // shutdown frame or the root disappears.
 void worker_loop(int rank, Channel& ch) {
-  (void)rank;
   for (;;) {
     Frame f;
     try {
@@ -123,11 +134,22 @@ void worker_loop(int rank, Channel& ch) {
     }
     if (f.tag == kTagShutdown) return;
     if (f.tag != kTagTask) return;  // protocol violation: stop serving
-    double timeout = 120.0;
+    double timeout = kDefaultTimeoutSeconds;
     try {
       const WorkerTask task = parse_task(f.payload);
       timeout = task.timeout_seconds;
-      ch.send_frame(kTagResult, run_task(task), task.timeout_seconds);
+      if (task.fail_task)
+        TT_FAIL("fault injection: worker " << rank << " ordered to fail its task");
+      std::vector<std::byte> reply = run_task(task);
+      if (task.kill_before_result) {
+        // Die after the work, before the result — the root observes EOF where
+        // it expected a result frame, exactly like a real mid-contraction
+        // crash. In process mode the child then _exit()s; in thread mode the
+        // closed channel is the same root-side observable.
+        ch.close();
+        return;
+      }
+      ch.send_frame(kTagResult, reply, task.timeout_seconds);
     } catch (const Error& e) {
       // Keep the frame protocol aligned: the root gets an error frame where
       // it expected a result, and throws on its side.
@@ -160,6 +182,7 @@ void DistStats::charge(CostTracker& t) const {
   t.add_time(Category::kGemm, critical_busy_seconds);
   t.add_time(Category::kComm, comm_seconds);
   t.add_time(Category::kImbalance, imbalance_seconds);
+  t.add_time(Category::kRecovery, recovery_seconds);
   t.add_words(exchange_words);
   for (const Rank& r : ranks) t.add_flops(r.flops);  // fixed rank order
   t.add_supersteps(static_cast<double>(contractions));
@@ -179,12 +202,15 @@ void DistStats::merge(const DistStats& other) {
   exchange_words += other.exchange_words;
   critical_busy_seconds += other.critical_busy_seconds;
   imbalance_seconds += other.imbalance_seconds;
+  recovery_seconds += other.recovery_seconds;
   replicated_operand = other.replicated_operand;
 }
 
 Scheduler::Scheduler(const SchedulerOptions& opts) : opts_(opts) {
   TT_CHECK(opts_.num_ranks >= 1,
            "scheduler needs at least one rank, got " << opts_.num_ranks);
+  live_.assign(static_cast<std::size_t>(opts_.num_ranks), 1);
+  respawn_attempts_.assign(static_cast<std::size_t>(opts_.num_ranks), 0);
   if (opts_.num_ranks > 1)
     group_ = std::make_unique<WorkerGroup>(opts_.num_ranks, opts_.mode, worker_loop);
 }
@@ -200,6 +226,50 @@ Scheduler::~Scheduler() {
 void Scheduler::kill_rank(int rank) {
   TT_CHECK(group_ != nullptr, "kill_rank on a single-rank scheduler");
   group_->kill(rank);
+}
+
+int Scheduler::live_workers() const {
+  int n = 0;
+  for (int r = 1; r < opts_.num_ranks; ++r)
+    if (live_[static_cast<std::size_t>(r)]) ++n;
+  return n;
+}
+
+void Scheduler::heal(const std::vector<int>& dead_ranks, DistStats& d) {
+  if (dead_ranks.empty() || group_ == nullptr) return;
+  Timer rec;
+  for (int r : dead_ranks) {
+    if (!live_[static_cast<std::size_t>(r)]) continue;  // duplicate report
+    live_[static_cast<std::size_t>(r)] = 0;
+    bool revived = false;
+    while (respawn_attempts_[static_cast<std::size_t>(r)] < opts_.retry.max_attempts &&
+           rec.seconds() <= opts_.retry.deadline_seconds) {
+      const int attempt = ++respawn_attempts_[static_cast<std::size_t>(r)];
+      const double delay =
+          opts_.retry.base_delay_seconds *
+          static_cast<double>(1u << static_cast<unsigned>(std::min(attempt - 1, 20)));
+      if (delay > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      try {
+        group_->respawn(r);
+        ++stats_.respawns;
+        live_[static_cast<std::size_t>(r)] = 1;
+        revived = true;
+        break;
+      } catch (const Error&) {
+        // Spawn itself failed (fd/process pressure); back off and retry
+        // while the rank still has attempts and the deadline allows.
+      }
+    }
+    if (!revived) {
+      // Out of attempts (or budget): reap whatever is left of the worker and
+      // fold its share into the survivors from the next contraction on.
+      group_->retire(r);
+      ++stats_.ranks_lost;
+    }
+  }
+  if (live_workers() == 0 && opts_.num_ranks > 1) stats_.degraded = true;
+  d.recovery_seconds += rec.seconds();
 }
 
 void Scheduler::shutdown() {
@@ -222,31 +292,56 @@ symm::BlockTensor Scheduler::contract(const symm::BlockTensor& a,
                                       symm::ContractStats* stats) {
   TT_CHECK(!broken_,
            "scheduler is broken after a failed exchange; construct a new one");
-  const int R = opts_.num_ranks;
   const symm::ContractPlan plan = symm::make_contract_plan(a, b, pairs);
   symm::BlockTensor c(plan.out_indices, plan.out_flux);
   const std::vector<symm::OutputBin> bins = symm::enumerate_bins(a, b, pairs, plan);
+  const bool collect_ops = stats != nullptr;
+  const bool healing = opts_.retry.max_attempts > 0;
+  FaultInjector& inj = FaultInjector::instance();
 
   // --- placement -------------------------------------------------------------
+  // Bins are partitioned over the *live* ranks only: slot 0 is the root,
+  // slot s >= 1 maps to the s-th surviving worker. With every worker retired
+  // this degenerates to a serial root-only partition — the graceful-
+  // degradation endpoint. Placement affects only *where* a bin runs, never
+  // the global bin order, so results and ContractStats stay bitwise identical
+  // no matter which ranks are alive.
+  std::vector<int> slot_rank{0};
+  for (int r = 1; r < opts_.num_ranks; ++r)
+    if (live_[static_cast<std::size_t>(r)]) slot_rank.push_back(r);
+  const int S = static_cast<int>(slot_rank.size());
+
   std::vector<double> weights(bins.size());
   for (std::size_t i = 0; i < bins.size(); ++i) weights[i] = bins[i].est_flops;
-  const Partition part = partition_bins(weights, R);
+  const Partition part = partition_bins(weights, S);
   const int replicated = choose_replicated(static_cast<double>(a.num_elements()),
                                            static_cast<double>(b.num_elements()));
 
-  std::vector<std::vector<std::size_t>> rank_bins(static_cast<std::size_t>(R));
+  std::vector<std::vector<std::size_t>> slot_bins(static_cast<std::size_t>(S));
   for (std::size_t g = 0; g < bins.size(); ++g)
-    rank_bins[static_cast<std::size_t>(part.rank_of[g])].push_back(g);
+    slot_bins[static_cast<std::size_t>(part.rank_of[g])].push_back(g);
 
   DistStats d;
-  d.ranks.resize(static_cast<std::size_t>(R));
+  d.ranks.resize(static_cast<std::size_t>(opts_.num_ranks));
   d.contractions = 1;
   d.replicated_operand = replicated;
 
+  // Failure capture: a failed slot's bins are re-executed on the root; a
+  // *dead* rank (EOF, timeout, desync, corrupt frame) is additionally healed
+  // afterwards. A worker that merely answered with an error frame is alive
+  // and frame-aligned — redistribute only, no respawn.
+  std::vector<char> slot_failed(static_cast<std::size_t>(S), 0);
+  std::vector<int> dead_ranks;
+  auto record_failure = [&](int slot, int rank, bool dead) {
+    ++stats_.faults_detected;
+    slot_failed[static_cast<std::size_t>(slot)] = 1;
+    if (dead) dead_ranks.push_back(rank);
+  };
+
   // --- ship operand slices + bin lists to the workers ------------------------
-  const bool collect_ops = stats != nullptr;
   if (group_) {
-    for (int r = 1; r < R; ++r) {
+    for (int s = 1; s < S; ++s) {
+      const int r = slot_rank[static_cast<std::size_t>(s)];
       Channel& ch = group_->channel(r);
       const double sent0 = ch.bytes_sent(), ss0 = ch.send_seconds();
 
@@ -271,8 +366,8 @@ symm::BlockTensor Scheduler::contract(const symm::BlockTensor& a,
         std::uint32_t ia, ib;
       };
       std::vector<std::vector<WirePair>> wire_bins;
-      wire_bins.reserve(rank_bins[static_cast<std::size_t>(r)].size());
-      for (std::size_t g : rank_bins[static_cast<std::size_t>(r)]) {
+      wire_bins.reserve(slot_bins[static_cast<std::size_t>(s)].size());
+      for (std::size_t g : slot_bins[static_cast<std::size_t>(s)]) {
         std::vector<WirePair>& wb = wire_bins.emplace_back();
         wb.reserve(bins[g].pairs.size());
         for (const symm::BinPair& pw : bins[g].pairs)
@@ -284,6 +379,10 @@ symm::BlockTensor Scheduler::contract(const symm::BlockTensor& a,
       w.str(plan.spec);
       w.u32(static_cast<std::uint32_t>(opts_.worker_threads));
       w.u32(collect_ops ? 1 : 0);
+      // Root-decided worker faults travel inside the task frame (see
+      // WorkerTask) so their counters are exact in both spawn modes.
+      w.u32(inj.should_fire("worker.kill_before_result", r, FaultSide::kWorker) ? 1 : 0);
+      w.u32(inj.should_fire("worker.fail_task", r, FaultSide::kWorker) ? 1 : 0);
       w.f64(opts_.timeout_seconds);
       w.u64(table_a.size());
       double operand_words = 0.0;
@@ -298,7 +397,7 @@ symm::BlockTensor Scheduler::contract(const symm::BlockTensor& a,
       }
       w.u64(wire_bins.size());
       for (std::size_t i = 0; i < wire_bins.size(); ++i) {
-        w.u64(rank_bins[static_cast<std::size_t>(r)][i]);
+        w.u64(slot_bins[static_cast<std::size_t>(s)][i]);
         w.u64(wire_bins[i].size());
         for (const WirePair& p : wire_bins[i]) {
           w.u32(p.ia);
@@ -309,8 +408,12 @@ symm::BlockTensor Scheduler::contract(const symm::BlockTensor& a,
       try {
         ch.send_frame(kTagTask, w.bytes(), opts_.timeout_seconds);
       } catch (const Error&) {
-        broken_ = true;
-        throw;
+        if (!healing) {
+          broken_ = true;
+          throw;
+        }
+        record_failure(s, r, /*dead=*/true);
+        continue;
       }
       d.exchange_words += operand_words;
       d.ranks[static_cast<std::size_t>(r)].bytes_sent = ch.bytes_sent() - sent0;
@@ -321,7 +424,7 @@ symm::BlockTensor Scheduler::contract(const symm::BlockTensor& a,
   // --- execute the root's own share while the workers run theirs -------------
   std::vector<symm::BinExecution> done(bins.size());
   {
-    const std::vector<std::size_t>& mine = rank_bins[0];
+    const std::vector<std::size_t>& mine = slot_bins[0];
     Timer busy;
     support::parallel_for(
         static_cast<index_t>(mine.size()),
@@ -335,65 +438,116 @@ symm::BlockTensor Scheduler::contract(const symm::BlockTensor& a,
     for (std::size_t g : mine) d.ranks[0].flops += done[g].flops;
   }
 
-  // --- gather worker results in fixed rank order -----------------------------
+  // --- gather worker results in fixed slot order -----------------------------
   if (group_) {
-    for (int r = 1; r < R; ++r) {
+    for (int s = 1; s < S; ++s) {
+      if (slot_failed[static_cast<std::size_t>(s)]) continue;
+      const int r = slot_rank[static_cast<std::size_t>(s)];
       Channel& ch = group_->channel(r);
       const double recv0 = ch.bytes_received(), rs0 = ch.recv_seconds();
+      DistStats::Rank& rr = d.ranks[static_cast<std::size_t>(r)];
       Frame f;
       try {
         f = ch.recv_frame(opts_.timeout_seconds);
       } catch (const Error&) {
-        broken_ = true;
-        throw;
+        // EOF (dead), timeout (wedged), or checksum mismatch (corrupt): the
+        // rank's protocol state is unknown — retire/respawn it in heal().
+        if (!healing) {
+          broken_ = true;
+          throw;
+        }
+        record_failure(s, r, /*dead=*/true);
+        continue;
       }
-      d.ranks[static_cast<std::size_t>(r)].bytes_received =
-          ch.bytes_received() - recv0;
+      rr.bytes_received = ch.bytes_received() - recv0;
       d.comm_seconds += ch.recv_seconds() - rs0;
 
       if (f.tag == kTagError) {
-        broken_ = true;
-        WireReader er(f.payload);
-        TT_FAIL("scheduler rank " << r << " failed: " << er.str());
-      }
-      if (f.tag != kTagResult) {
-        broken_ = true;
-        TT_FAIL("scheduler rank " << r << " sent unexpected frame tag " << f.tag);
+        // The report itself may be damaged (e.g. wire.truncate hitting the
+        // worker's error-frame build); an unreadable message must not escape
+        // the healing path.
+        std::string msg = "(unreadable error frame)";
+        try {
+          WireReader er(f.payload);
+          msg = er.str();
+        } catch (const Error&) {
+        }
+        if (!healing) {
+          broken_ = true;
+          TT_FAIL("scheduler rank " << r << " failed: " << msg);
+        }
+        record_failure(s, r, /*dead=*/false);
+        continue;
       }
 
-      WireReader reader(f.payload);
-      DistStats::Rank& rr = d.ranks[static_cast<std::size_t>(r)];
-      rr.busy_seconds = reader.f64();
-      const std::uint64_t nbins = reader.u64();
-      const std::vector<std::size_t>& expect = rank_bins[static_cast<std::size_t>(r)];
-      if (nbins != expect.size()) {
-        broken_ = true;
-        TT_FAIL("scheduler rank " << r << " returned " << nbins << " bins, expected "
-                                  << expect.size());
-      }
-      rr.bins = static_cast<int>(nbins);
-      for (std::size_t i = 0; i < expect.size(); ++i) {
-        const std::uint64_t g = reader.u64();
-        if (g != expect[i]) {
+      try {
+        TT_CHECK(f.tag == kTagResult,
+                 "scheduler rank " << r << " sent unexpected frame tag " << f.tag);
+        WireReader reader(f.payload);
+        rr.busy_seconds = reader.f64();
+        const std::uint64_t nbins = reader.u64();
+        const std::vector<std::size_t>& expect = slot_bins[static_cast<std::size_t>(s)];
+        TT_CHECK(nbins == expect.size(),
+                 "scheduler rank " << r << " returned " << nbins
+                                   << " bins, expected " << expect.size());
+        rr.bins = static_cast<int>(nbins);
+        for (std::size_t i = 0; i < expect.size(); ++i) {
+          const std::uint64_t g = reader.u64();
+          TT_CHECK(g == expect[i], "scheduler rank " << r << " returned bin " << g
+                                                     << ", expected " << expect[i]);
+          symm::BinExecution& bin = done[static_cast<std::size_t>(g)];
+          bin.flops = reader.f64();
+          bin.permuted_words = reader.f64();
+          const std::uint64_t nops = reader.u64();
+          bin.ops.resize(static_cast<std::size_t>(nops));
+          for (symm::BlockOpCost& op : bin.ops) {
+            op.flops = reader.f64();
+            op.words_a = reader.f64();
+            op.words_b = reader.f64();
+            op.words_c = reader.f64();
+          }
+          bin.result = reader.tensor();
+          rr.flops += bin.flops;
+          d.exchange_words += static_cast<double>(bin.result.size());
+        }
+      } catch (const Error&) {
+        // Unparseable or desynchronized reply. Any partially-parsed bins are
+        // recomputed below (deterministically, so still bitwise identical);
+        // the rank itself is in unknown protocol state — heal it.
+        if (!healing) {
           broken_ = true;
-          TT_FAIL("scheduler rank " << r << " returned bin " << g << ", expected "
-                                    << expect[i]);
+          throw;
         }
-        symm::BinExecution& bin = done[static_cast<std::size_t>(g)];
-        bin.flops = reader.f64();
-        bin.permuted_words = reader.f64();
-        const std::uint64_t nops = reader.u64();
-        bin.ops.resize(static_cast<std::size_t>(nops));
-        for (symm::BlockOpCost& op : bin.ops) {
-          op.flops = reader.f64();
-          op.words_a = reader.f64();
-          op.words_b = reader.f64();
-          op.words_c = reader.f64();
-        }
-        bin.result = reader.tensor();
-        rr.flops += bin.flops;
-        d.exchange_words += static_cast<double>(bin.result.size());
+        rr.bins = 0;
+        rr.flops = 0.0;
+        rr.busy_seconds = 0.0;
+        record_failure(s, r, /*dead=*/true);
+        continue;
       }
+    }
+  }
+
+  // --- makeup: re-execute failed slots' bins on the root ---------------------
+  {
+    std::vector<std::size_t> makeup;
+    for (int s = 1; s < S; ++s)
+      if (slot_failed[static_cast<std::size_t>(s)]) {
+        makeup.insert(makeup.end(), slot_bins[static_cast<std::size_t>(s)].begin(),
+                      slot_bins[static_cast<std::size_t>(s)].end());
+        ++stats_.retries;
+      }
+    if (!makeup.empty()) {
+      Timer rec;
+      support::parallel_for(
+          static_cast<index_t>(makeup.size()),
+          [&](index_t i) {
+            const std::size_t g = makeup[static_cast<std::size_t>(i)];
+            done[g] = symm::execute_bin(bins[g], plan.spec, collect_ops, nullptr);
+          },
+          opts_.root_threads);
+      d.recovery_seconds += rec.seconds();
+      d.ranks[0].bins += static_cast<int>(makeup.size());
+      for (std::size_t g : makeup) d.ranks[0].flops += done[g].flops;
     }
   }
 
@@ -415,8 +569,15 @@ symm::BlockTensor Scheduler::contract(const symm::BlockTensor& a,
   for (const DistStats::Rank& r : d.ranks)
     max_busy = std::max(max_busy, r.busy_seconds);
   d.critical_busy_seconds = max_busy;
-  for (const DistStats::Rank& r : d.ranks)
-    d.imbalance_seconds += max_busy - r.busy_seconds;
+  // Idle tails over the ranks that *participated* — retired ranks are no
+  // longer part of the machine and must not read as permanent imbalance.
+  for (int s = 0; s < S; ++s)
+    d.imbalance_seconds +=
+        max_busy - d.ranks[static_cast<std::size_t>(slot_rank[static_cast<std::size_t>(s)])]
+                       .busy_seconds;
+
+  // --- respawn dead ranks (bounded attempts + backoff) -----------------------
+  heal(dead_ranks, d);
 
   last_ = d;
   accumulated_.merge(d);

@@ -25,6 +25,15 @@
 // fixed rank order: GEMM time = the critical (max) rank, imbalance = the idle
 // tail of the other ranks, comm = root transport wall, words = data words
 // actually moved. See docs/ARCHITECTURE.md "The distributed block scheduler".
+//
+// The scheduler is fault tolerant: a worker that dies, wedges, fails its
+// task, or corrupts its reply has its bin share re-executed on the root
+// (bitwise-identical — bins are deterministic and assembly order is global),
+// then gets respawned under a bounded-retry/backoff RetryPolicy, degrading
+// to serial execution when every worker is lost. Recovery cost is measured
+// (DistStats::recovery_seconds -> Category::kRecovery) and counted
+// (SchedulerStats). See docs/ARCHITECTURE.md "Fault tolerance and
+// checkpointing".
 #pragma once
 
 #include <memory>
@@ -38,6 +47,28 @@
 #include "symm/block_ops.hpp"
 
 namespace tt::rt {
+
+/// The one transport/recovery deadline default. Task timeouts (struct default
+/// below, the value shipped inside every task frame) and the retry deadline
+/// all derive from this single constant so they cannot drift apart.
+constexpr double kDefaultTimeoutSeconds = 120.0;
+
+/// How the scheduler reacts to a dead, wedged, or failing worker.
+struct RetryPolicy {
+  /// Respawns allowed per rank over the scheduler's lifetime. A rank that
+  /// exhausts them is retired (its bin share folds into the survivors).
+  /// 0 disables self-healing entirely: the first fault breaks the scheduler
+  /// and contract() throws — the pre-recovery fail-fast behaviour.
+  int max_attempts = 2;
+
+  /// Exponential backoff before respawn attempt k sleeps
+  /// base_delay_seconds * 2^(k-1).
+  double base_delay_seconds = 0.01;
+
+  /// Wall-clock budget for the healing phase of one contract() call; once
+  /// exceeded, remaining dead ranks are retired instead of respawned.
+  double deadline_seconds = kDefaultTimeoutSeconds;
+};
 
 /// Construction-time knobs of a Scheduler.
 struct SchedulerOptions {
@@ -57,7 +88,20 @@ struct SchedulerOptions {
 
   /// Deadline for every transport operation of one contraction. A worker that
   /// dies or wedges surfaces as tt::Error within this bound — never a hang.
-  double timeout_seconds = 120.0;
+  double timeout_seconds = kDefaultTimeoutSeconds;
+
+  /// Fault recovery behaviour (see RetryPolicy).
+  RetryPolicy retry;
+};
+
+/// Lifetime recovery counters of one Scheduler — how much self-healing has
+/// happened, so recovery is observable instead of silent.
+struct SchedulerStats {
+  long faults_detected = 0;  ///< dead/wedged/corrupt/failing worker events
+  long retries = 0;          ///< bin shares re-executed on the root
+  long respawns = 0;         ///< workers successfully respawned
+  long ranks_lost = 0;       ///< ranks retired after exhausting max_attempts
+  bool degraded = false;     ///< true once every worker is gone (serial mode)
 };
 
 /// Measured execution record of distributed contractions (one or accumulated
@@ -78,17 +122,18 @@ struct DistStats {
   double exchange_words = 0.0;   ///< tensor words moved (operands + results)
   double critical_busy_seconds = 0.0;  ///< Σ over contractions of max-rank busy
   double imbalance_seconds = 0.0;      ///< Σ over contractions, ranks of (max − busy)
+  double recovery_seconds = 0.0;       ///< makeup execution + respawn/backoff wall
   int replicated_operand = 0;    ///< most recent contraction: 0 = a, 1 = b
 
   double total_bytes() const;
   double total_flops() const;
 
   /// Reduce into a cost tracker in fixed rank order: kGemm += critical busy,
-  /// kComm += transport wall, kImbalance += idle tails, words += exchanged
-  /// words, flops += per-rank flops (rank order), one superstep per
-  /// contraction. Note kComm is measured at the root and includes time blocked
-  /// waiting on results — see docs/BENCHMARKS.md "Measured vs replayed" for
-  /// the decomposition caveat.
+  /// kComm += transport wall, kImbalance += idle tails, kRecovery += recovery
+  /// wall, words += exchanged words, flops += per-rank flops (rank order),
+  /// one superstep per contraction. Note kComm is measured at the root and
+  /// includes time blocked waiting on results — see docs/BENCHMARKS.md
+  /// "Measured vs replayed" for the decomposition caveat.
   void charge(CostTracker& t) const;
 
   /// Rank-wise and scalar accumulation (for multi-contraction aggregates).
@@ -113,9 +158,20 @@ class Scheduler {
   /// Distributed symm::contract: identical semantics, results, and (when
   /// `stats` is given) ContractStats — bitwise, at any rank count. Measured
   /// communication/imbalance of this call lands in last() and accumulated().
-  /// Throws tt::Error if a worker died or the exchange failed; the scheduler
-  /// is then broken (workers in unknown protocol state) and every later
-  /// contract() throws until destruction.
+  ///
+  /// Self-healing (opts.retry.max_attempts > 0, the default): a worker that
+  /// dies, wedges past the timeout, fails its task, or returns a corrupt or
+  /// unparseable frame does NOT fail the call — the root re-executes that
+  /// rank's bin share itself (results and ContractStats stay bitwise
+  /// identical to the fault-free run, since assembly order and per-bin
+  /// execution are deterministic), then respawns the rank with exponential
+  /// backoff, retiring it once its attempts are exhausted. When every worker
+  /// is gone the scheduler degrades to serial root execution. Recovery cost
+  /// is measured into DistStats::recovery_seconds and counted in stats().
+  ///
+  /// With retry.max_attempts == 0, any fault throws tt::Error and the
+  /// scheduler is broken (workers in unknown protocol state): every later
+  /// contract() throws until destruction — the pre-recovery behaviour.
   symm::BlockTensor contract(const symm::BlockTensor& a, const symm::BlockTensor& b,
                              const std::vector<std::pair<int, int>>& pairs,
                              symm::ContractStats* stats = nullptr);
@@ -130,18 +186,31 @@ class Scheduler {
   void reduce_into(CostTracker& t) const { accumulated_.charge(t); }
 
   /// Fault injection (process mode): SIGKILL a worker. The next contract()
-  /// observes the dead peer and throws cleanly.
+  /// observes the dead peer — and heals it or throws, per the retry policy.
   void kill_rank(int rank);
+
+  /// Lifetime recovery counters (see SchedulerStats).
+  const SchedulerStats& stats() const { return stats_; }
+
+  /// Worker ranks currently alive and serving.
+  int live_workers() const;
 
   /// Graceful teardown: shutdown frames, reap/join workers. Idempotent; the
   /// destructor calls it (hard-killing whatever does not exit in time).
   void shutdown();
 
  private:
+  /// Retire-then-respawn each listed rank with bounded backoff; retires for
+  /// good once its attempts are exhausted. Time spent lands in `d`.
+  void heal(const std::vector<int>& dead_ranks, DistStats& d);
+
   SchedulerOptions opts_;
   std::unique_ptr<WorkerGroup> group_;  // null when num_ranks == 1
   DistStats last_;
   DistStats accumulated_;
+  SchedulerStats stats_;
+  std::vector<char> live_;             // index = rank; rank 0 always live
+  std::vector<int> respawn_attempts_;  // index = rank
   bool broken_ = false;
 };
 

@@ -14,6 +14,7 @@ const char* category_name(Category c) {
     case Category::kSvd: return "SVD";
     case Category::kImbalance: return "Load imbalance";
     case Category::kPrefetch: return "Prefetch";
+    case Category::kRecovery: return "Recovery";
     case Category::kOther: return "Other";
   }
   return "?";

@@ -21,9 +21,10 @@ enum class Category : int {
   kSvd = 3,        // ScaLAPACK pdgesvd-equivalent
   kImbalance = 4,  // idle time from blocks too small to fill the machine
   kPrefetch = 5,   // async environment prefetch overlapped with Davidson
-  kOther = 6,      // keep last: breakdown reports drop the trailing category
+  kRecovery = 6,   // fault recovery: makeup execution, respawns, backoff
+  kOther = 7,      // keep last: breakdown reports drop the trailing category
 };
-constexpr int kNumCategories = 7;
+constexpr int kNumCategories = 8;
 
 const char* category_name(Category c);
 

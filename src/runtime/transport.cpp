@@ -15,6 +15,7 @@
 #include <cstring>
 #include <string>
 
+#include "runtime/fault.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -23,11 +24,13 @@ namespace tt::rt {
 
 namespace {
 
-// Frame header: magic, tag, payload length. The magic makes stream desync
-// (e.g. a reader resuming mid-payload after a peer died) a detected error.
+// Frame header: magic, tag, payload length, payload checksum. The magic makes
+// stream desync (e.g. a reader resuming mid-payload after a peer died) a
+// detected error; the checksum makes a corrupted payload a detected error
+// instead of garbage tensor data.
 constexpr std::uint32_t kFrameMagic = 0x54544652;  // "TTFR"
 constexpr std::uint64_t kMaxFramePayload = std::uint64_t{1} << 30;
-constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kHeaderBytes = 24;
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -68,6 +71,8 @@ Channel& Channel::operator=(Channel&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    fault_rank_ = other.fault_rank_;
+    fault_side_ = other.fault_side_;
     bytes_sent_ = other.bytes_sent_;
     bytes_received_ = other.bytes_received_;
     send_seconds_ = other.send_seconds_;
@@ -162,15 +167,46 @@ void Channel::read_all(std::byte* p, std::size_t n, double timeout_seconds,
 void Channel::send_frame(std::uint32_t tag, const std::vector<std::byte>& payload,
                          double timeout_seconds) {
   Timer t;
+  FaultInjector& inj = FaultInjector::instance();
+  FaultSpec delay;
+  if (inj.should_fire("frame.delay", fault_rank_, fault_side_, &delay) &&
+      delay.ms > 0.0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay.ms));
+  const bool truncate = inj.should_fire("frame.truncate", fault_rank_, fault_side_);
+  const bool corrupt =
+      !payload.empty() && inj.should_fire("payload.corrupt", fault_rank_, fault_side_);
+
   std::byte header[kHeaderBytes];
   const std::uint32_t magic = kFrameMagic;
   const std::uint64_t len = payload.size();
+  // Checksum over the *original* payload, so an injected corruption below is
+  // exactly what a real bit flip would be: a mismatch the receiver detects.
+  const std::uint64_t sum = wire_checksum(payload.data(), payload.size());
   TT_CHECK(len <= kMaxFramePayload, "frame payload " << len << " exceeds limit");
   std::memcpy(header, &magic, 4);
   std::memcpy(header + 4, &tag, 4);
   std::memcpy(header + 8, &len, 8);
+  std::memcpy(header + 16, &sum, 8);
+
+  const std::vector<std::byte>* body = &payload;
+  std::vector<std::byte> mangled;
+  if (corrupt) {
+    mangled = payload;
+    mangled[mangled.size() / 2] ^= std::byte{0x01};
+    body = &mangled;
+  }
+
   write_all(header, kHeaderBytes, timeout_seconds);
-  if (!payload.empty()) write_all(payload.data(), payload.size(), timeout_seconds);
+  if (truncate) {
+    const std::size_t part = body->size() / 2;
+    if (part > 0) write_all(body->data(), part, timeout_seconds);
+    close();
+    TT_FAIL("fault injection: frame truncated after " << part << "/"
+                                                      << body->size()
+                                                      << " payload bytes");
+  }
+  if (!body->empty()) write_all(body->data(), body->size(), timeout_seconds);
   bytes_sent_ += static_cast<double>(kHeaderBytes + payload.size());
   send_seconds_ += t.seconds();
 }
@@ -182,9 +218,11 @@ Frame Channel::recv_frame(double timeout_seconds) {
   std::uint32_t magic = 0;
   Frame f;
   std::uint64_t len = 0;
+  std::uint64_t sum = 0;
   std::memcpy(&magic, header, 4);
   std::memcpy(&f.tag, header + 4, 4);
   std::memcpy(&len, header + 8, 8);
+  std::memcpy(&sum, header + 16, 8);
   TT_CHECK(magic == kFrameMagic,
            "transport stream desynchronized: bad frame magic 0x" << std::hex << magic);
   TT_CHECK(len <= kMaxFramePayload, "frame payload length " << len << " exceeds limit");
@@ -192,60 +230,96 @@ Frame Channel::recv_frame(double timeout_seconds) {
   if (len > 0)
     read_all(f.payload.data(), f.payload.size(), timeout_seconds,
              /*eof_is_truncation=*/true);
+  TT_CHECK(wire_checksum(f.payload.data(), f.payload.size()) == sum,
+           "transport frame corrupt: payload checksum mismatch ("
+               << f.payload.size() << " bytes, tag " << f.tag << ")");
   bytes_received_ += static_cast<double>(kHeaderBytes + f.payload.size());
   recv_seconds_ += t.seconds();
   return f;
 }
 
 WorkerGroup::WorkerGroup(int num_ranks, SpawnMode mode, WorkerFn fn)
-    : num_ranks_(num_ranks), mode_(mode) {
+    : num_ranks_(num_ranks), mode_(mode), fn_(std::move(fn)) {
   TT_CHECK(num_ranks >= 1, "WorkerGroup needs at least one rank, got " << num_ranks);
   root_channels_.resize(static_cast<std::size_t>(num_ranks));
   child_pids_.assign(static_cast<std::size_t>(num_ranks), -1);
+  worker_threads_.resize(static_cast<std::size_t>(num_ranks));
   worker_channels_.resize(static_cast<std::size_t>(num_ranks));
 
-  for (int rank = 1; rank < num_ranks; ++rank) {
-    auto [root_end, worker_end] = Channel::make_pair();
-    if (mode == SpawnMode::kProcess) {
-      // Child output buffers are duplicated by fork; flush so a worker that
-      // aborts cannot replay the parent's pending stdout.
-      std::fflush(nullptr);
-      const pid_t pid = ::fork();
-      TT_CHECK(pid >= 0, "fork failed for rank " << rank << ": "
-                                                 << std::strerror(errno));
-      if (pid == 0) {
-        // Worker process. Drop every root-side descriptor inherited from the
-        // parent (earlier ranks' channels and our own root end): leaked root
-        // fds would keep dead peers looking alive. Then make the inherited
-        // pool/OpenMP state safe and serve.
-        for (Channel& c : root_channels_) c.close();
-        root_end.close();
-        support::notify_fork_child();
-        try {
-          fn(rank, worker_end);
-          worker_end.close();
-          ::_exit(0);
-        } catch (...) {
-          ::_exit(1);
-        }
+  for (int rank = 1; rank < num_ranks; ++rank) spawn_rank(rank);
+}
+
+void WorkerGroup::spawn_rank(int rank) {
+  auto [root_end, worker_end] = Channel::make_pair();
+  root_end.set_fault_peer(rank, FaultSide::kRoot);
+  worker_end.set_fault_peer(rank, FaultSide::kWorker);
+  if (mode_ == SpawnMode::kProcess) {
+    // Child output buffers are duplicated by fork; flush so a worker that
+    // aborts cannot replay the parent's pending stdout.
+    std::fflush(nullptr);
+    const pid_t pid = ::fork();
+    TT_CHECK(pid >= 0, "fork failed for rank " << rank << ": "
+                                               << std::strerror(errno));
+    if (pid == 0) {
+      // Worker process. Drop every root-side descriptor inherited from the
+      // parent (other ranks' channels and our own root end): leaked root
+      // fds would keep dead peers looking alive. Then make the inherited
+      // pool/OpenMP state safe and serve.
+      for (Channel& c : root_channels_) c.close();
+      root_end.close();
+      support::notify_fork_child();
+      try {
+        fn_(rank, worker_end);
+        worker_end.close();
+        ::_exit(0);
+      } catch (...) {
+        ::_exit(1);
       }
-      child_pids_[static_cast<std::size_t>(rank)] = pid;
-      worker_end.close();  // parent keeps only the root end
-      root_channels_[static_cast<std::size_t>(rank)] = std::move(root_end);
-    } else {
-      auto wc = std::make_unique<Channel>(std::move(worker_end));
-      root_channels_[static_cast<std::size_t>(rank)] = std::move(root_end);
-      Channel* wc_raw = wc.get();
-      worker_channels_[static_cast<std::size_t>(rank)] = std::move(wc);
-      worker_threads_.emplace_back([fn, rank, wc_raw] {
-        try {
-          fn(rank, *wc_raw);
-        } catch (...) {
-          // Worker errors surface to the root as closed/failed channels.
-        }
-      });
     }
+    child_pids_[static_cast<std::size_t>(rank)] = pid;
+    worker_end.close();  // parent keeps only the root end
+    root_channels_[static_cast<std::size_t>(rank)] = std::move(root_end);
+  } else {
+    auto wc = std::make_unique<Channel>(std::move(worker_end));
+    root_channels_[static_cast<std::size_t>(rank)] = std::move(root_end);
+    Channel* wc_raw = wc.get();
+    worker_channels_[static_cast<std::size_t>(rank)] = std::move(wc);
+    const WorkerFn& fn = fn_;
+    worker_threads_[static_cast<std::size_t>(rank)] =
+        std::thread([fn, rank, wc_raw] {
+          try {
+            fn(rank, *wc_raw);
+          } catch (...) {
+            // Worker errors surface to the root as closed/failed channels.
+          }
+        });
   }
+}
+
+void WorkerGroup::retire(int rank) {
+  TT_CHECK(rank >= 1 && rank < num_ranks_, "no worker with rank " << rank);
+  // Closing the root end first wakes a thread-mode worker blocked in recv and
+  // turns any in-flight process-mode send into EPIPE.
+  root_channels_[static_cast<std::size_t>(rank)].close();
+  if (mode_ == SpawnMode::kProcess) {
+    long& pid = child_pids_[static_cast<std::size_t>(rank)];
+    if (pid > 0) {
+      ::kill(static_cast<pid_t>(pid), SIGKILL);
+      int status = 0;
+      ::waitpid(static_cast<pid_t>(pid), &status, 0);
+      pid = -1;
+    }
+  } else {
+    std::thread& t = worker_threads_[static_cast<std::size_t>(rank)];
+    if (t.joinable()) t.join();
+    worker_channels_[static_cast<std::size_t>(rank)].reset();
+  }
+}
+
+void WorkerGroup::respawn(int rank) {
+  TT_CHECK(!joined_, "respawn after join()");
+  retire(rank);
+  spawn_rank(rank);
 }
 
 WorkerGroup::~WorkerGroup() {

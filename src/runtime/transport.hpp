@@ -1,7 +1,8 @@
 // Process-level transport for the distributed block scheduler.
 //
 // A Channel is one bidirectional point-to-point link carrying length-prefixed
-// frames (magic, tag, payload length, payload) over a SOCK_STREAM socketpair.
+// frames (magic, tag, payload length, payload checksum, payload) over a
+// SOCK_STREAM socketpair.
 // Every operation is poll()-driven with a deadline, so a dead or wedged peer
 // surfaces as tt::Error instead of a hang; a peer that disappears mid-frame
 // (EOF inside a payload) is detected by the length prefix and reported as a
@@ -28,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/fault.hpp"
 #include "runtime/wire.hpp"
 #include "support/types.hpp"
 
@@ -65,14 +67,26 @@ class Channel {
   void close();
 
   /// Send one frame. Throws tt::Error on peer loss (EPIPE/reset) or when the
-  /// peer stops draining for longer than `timeout_seconds`.
+  /// peer stops draining for longer than `timeout_seconds`. Fault points
+  /// `frame.delay`, `frame.truncate`, and `payload.corrupt` are evaluated
+  /// here against the channel's fault context (set_fault_peer).
   void send_frame(std::uint32_t tag, const std::vector<std::byte>& payload,
                   double timeout_seconds);
 
   /// Receive one frame. Throws tt::Error on EOF (peer closed/died), bad
-  /// framing (wrong magic — stream desync), truncation mid-frame, or when no
-  /// complete frame arrives within `timeout_seconds`.
+  /// framing (wrong magic — stream desync), truncation mid-frame, payload
+  /// checksum mismatch (corruption), or when no complete frame arrives
+  /// within `timeout_seconds`.
   Frame recv_frame(double timeout_seconds);
+
+  /// Fault-injection context: which rank this channel talks for/to and which
+  /// side of the link this end is. Channels default to {-1, kAny} (only
+  /// unrestricted specs match); the scheduler tags both ends of every
+  /// root<->worker link.
+  void set_fault_peer(int rank, FaultSide side) {
+    fault_rank_ = rank;
+    fault_side_ = side;
+  }
 
   /// Connected socketpair (both ends non-blocking).
   static std::pair<Channel, Channel> make_pair();
@@ -89,6 +103,8 @@ class Channel {
                 bool eof_is_truncation);
 
   int fd_ = -1;
+  int fault_rank_ = -1;
+  FaultSide fault_side_ = FaultSide::kAny;
   double bytes_sent_ = 0.0;
   double bytes_received_ = 0.0;
   double send_seconds_ = 0.0;
@@ -122,17 +138,31 @@ class WorkerGroup {
   /// it to die, so a subsequent exchange observes a dead peer.
   void kill(int rank);
 
+  /// Tear down one worker without touching the others: close its root-side
+  /// channel, then SIGKILL + reap (process mode) or join (thread mode; the
+  /// closed channel wakes a blocked worker). Idempotent — retiring an
+  /// already-dead or already-retired rank is a no-op beyond the cleanup.
+  void retire(int rank);
+
+  /// retire(rank) then spawn a fresh worker on a fresh channel in its place —
+  /// the self-healing scheduler's recovery primitive. Throws if spawning
+  /// fails; the rank is then retired.
+  void respawn(int rank);
+
   /// Graceful teardown after the protocol-level shutdown message: reap child
   /// processes (escalating to SIGKILL after `timeout_seconds`) or join worker
   /// threads (root channels are closed first so blocked workers wake up).
   void join(double timeout_seconds = 10.0);
 
  private:
+  void spawn_rank(int rank);
+
   int num_ranks_ = 1;
   SpawnMode mode_ = SpawnMode::kProcess;
+  WorkerFn fn_;                            // kept for respawn()
   std::vector<Channel> root_channels_;     // index 0 unused
   std::vector<long> child_pids_;           // process mode; index 0 unused
-  std::vector<std::thread> worker_threads_;  // thread mode; index 0 unused
+  std::vector<std::thread> worker_threads_;  // thread mode; index = rank, 0 unused
   std::vector<std::unique_ptr<Channel>> worker_channels_;  // thread mode
   bool joined_ = false;
 };

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "runtime/fault.hpp"
+
 namespace tt::rt {
 
 namespace {
@@ -11,6 +13,21 @@ namespace {
 constexpr std::uint64_t kMaxFieldBytes = std::uint64_t{1} << 30;
 
 }  // namespace
+
+std::uint64_t wire_checksum(const std::byte* p, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(std::to_integer<unsigned char>(p[i]));
+    h *= 0x100000001b3ull;  // FNV prime
+  }
+  return h;
+}
+
+std::vector<std::byte> WireWriter::take() {
+  if (FaultInjector::instance().should_fire("wire.truncate"))
+    buf_.resize(buf_.size() / 2);
+  return std::move(buf_);
+}
 
 void WireWriter::raw(const void* p, std::size_t n) {
   const auto* b = static_cast<const std::byte*>(p);

@@ -19,6 +19,12 @@
 
 namespace tt::rt {
 
+/// 64-bit FNV-1a over a byte range. Used as the frame payload checksum (a
+/// corrupt frame must surface as a clean error, not garbage tensors) and as
+/// the snapshot checksum in dmrg::CheckpointManager. Not cryptographic —
+/// it detects accidental corruption, not an adversary.
+std::uint64_t wire_checksum(const std::byte* p, std::size_t n);
+
 /// Append-only message builder.
 class WireWriter {
  public:
@@ -33,7 +39,12 @@ class WireWriter {
   void tensor(const tensor::DenseTensor& t);
 
   const std::vector<std::byte>& bytes() const { return buf_; }
-  std::vector<std::byte> take() { return std::move(buf_); }
+
+  /// Surrender the built payload. Fault point `wire.truncate` (evaluated with
+  /// no rank/side context) drops the trailing half here, so the far side sees
+  /// a frame that *arrives* intact but fails to parse.
+  std::vector<std::byte> take();
+
   std::size_t size() const { return buf_.size(); }
 
  private:

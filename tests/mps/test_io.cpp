@@ -66,6 +66,64 @@ TEST(MpsIo, RejectsCorruptStream) {
   EXPECT_THROW(tt::mps::read_mps(truncated, sites), tt::Error);
 }
 
+// The three header failure classes carry three distinct messages, so a
+// reader pointed at the wrong file says what is wrong instead of a generic
+// "corrupt" from deeper in the parse.
+TEST(MpsIo, DistinguishesTruncationBadMagicAndBadVersion) {
+  auto sites = tt::models::spin_half_sites(2);
+  auto message_of = [&](const std::string& text) {
+    std::stringstream ss(text);
+    try {
+      (void)tt::mps::read_mps(ss, sites);
+    } catch (const tt::Error& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  EXPECT_NE(message_of("").find("truncated"), std::string::npos);
+  EXPECT_NE(message_of("TTMPO 1\n").find("magic"), std::string::npos);
+  EXPECT_NE(message_of("TTMPS 7\n").find("version"), std::string::npos);
+  EXPECT_NE(message_of("TTMPS 1\n").find("truncated"), std::string::npos);
+}
+
+TEST(MpsIo, TruncatedFileIsRejectedAtEveryCut) {
+  // Chop a valid stream at several depths: header, index table, block
+  // values. Every cut must surface as tt::Error, never a silent partial MPS.
+  auto sites = tt::models::spin_half_sites(4);
+  Rng rng(9);
+  Mps psi = Mps::random(sites, QN(0), 6, rng);
+  std::stringstream full;
+  tt::mps::write_mps(full, psi);
+  const std::string text = full.str();
+  for (std::size_t cut :
+       {text.size() / 8, text.size() / 3, text.size() / 2, 3 * text.size() / 4}) {
+    std::stringstream part(text.substr(0, cut));
+    EXPECT_THROW(tt::mps::read_mps(part, sites), tt::Error) << "cut " << cut;
+  }
+}
+
+TEST(MpsIo, RejectsCorruptNumericToken) {
+  auto sites = tt::models::spin_half_sites(2);
+  Mps psi = Mps::product_state(sites, {0, 1});
+  std::stringstream full;
+  tt::mps::write_mps(full, psi);
+  std::string text = full.str();
+  // Damage the first hexfloat value token.
+  const std::size_t pos = text.find("0x");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 2, "0z");
+  std::stringstream bad(text);
+  EXPECT_THROW(tt::mps::read_mps(bad, sites), tt::Error);
+}
+
+TEST(MpoIo, RejectsWrongMagicAndVersion) {
+  auto sites = tt::models::spin_half_sites(2);
+  std::stringstream wrong_kind("TTMPS 1\n");
+  EXPECT_THROW(tt::mps::read_mpo(wrong_kind, sites), tt::Error);
+  std::stringstream future("TTMPO 2\n");
+  EXPECT_THROW(tt::mps::read_mpo(future, sites), tt::Error);
+}
+
 TEST(MpoIo, RoundTripPreservesMatrixElements) {
   auto lat = tt::models::chain(5);
   auto sites = tt::models::spin_half_sites(5);

@@ -248,6 +248,9 @@ TEST(SchedulerFault, KilledWorkerSurfacesAsCleanErrorAndSchedulerBreaks) {
   opts.num_ranks = 2;
   opts.mode = SpawnMode::kProcess;
   opts.timeout_seconds = 10.0;
+  // Self-healing off: this test pins the legacy fail-fast contract (the
+  // healing path is covered by tests/runtime/test_fault.cpp).
+  opts.retry.max_attempts = 0;
   Scheduler sched(opts);
   // First exchange proves the pair works.
   (void)sched.contract(a, b, {{2, 0}});

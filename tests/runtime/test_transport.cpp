@@ -76,9 +76,9 @@ TEST_P(TransportModes, CountersMeasureActualBytes) {
   Channel& ch = group.channel(1);
   ch.send_frame(5, payload_of("count me"), 10.0);
   (void)ch.recv_frame(10.0);
-  // 16-byte header + 8-byte payload, each way.
-  EXPECT_DOUBLE_EQ(ch.bytes_sent(), 24.0);
-  EXPECT_DOUBLE_EQ(ch.bytes_received(), 24.0);
+  // 24-byte header (magic, tag, length, checksum) + 8-byte payload, each way.
+  EXPECT_DOUBLE_EQ(ch.bytes_sent(), 32.0);
+  EXPECT_DOUBLE_EQ(ch.bytes_received(), 32.0);
   EXPECT_GE(ch.send_seconds(), 0.0);
   EXPECT_GT(ch.recv_seconds(), 0.0);
   ch.send_frame(0, {}, 10.0);
@@ -132,10 +132,12 @@ TEST(TransportFault, TruncatedFrameAndBadMagicAreDetected) {
   const std::uint32_t magic = 0x54544652u;
   const std::uint32_t tag = 3;
   std::uint64_t len = 64;
-  std::byte header[16];
+  std::uint64_t checksum = 0;  // wrong for any payload, but truncation hits first
+  std::byte header[24];
   std::memcpy(header, &magic, 4);
   std::memcpy(header + 4, &tag, 4);
   std::memcpy(header + 8, &len, 8);
+  std::memcpy(header + 16, &checksum, 8);
 
   // Header promises 64 bytes; only 10 arrive before the peer closes.
   ASSERT_EQ(::send(fds[1], header, sizeof header, 0),
@@ -155,7 +157,7 @@ TEST(TransportFault, TruncatedFrameAndBadMagicAreDetected) {
   int fds2[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds2), 0);
   Channel root2(fds2[0]);
-  std::byte junk[16];
+  std::byte junk[24];
   std::memset(junk, 0xab, sizeof junk);
   ASSERT_EQ(::send(fds2[1], junk, sizeof junk, 0),
             static_cast<ssize_t>(sizeof junk));
