@@ -136,6 +136,24 @@ int main(int argc, char** argv) {
            fmt_sci(wall_killed + wall_resume, 6), std::to_string(mgr2.sequence()),
            e_resume == e_base ? "1" : "0"});
 
+  auto mr = bench::make_metrics("bench_checkpoint_resume");
+  mr.add_context("workload", workload);
+  mr.add_context("snapshot_every_bonds", static_cast<double>(every));
+  mr.add("baseline", "energy", e_base);
+  mr.add("baseline", "wall_s", wall_base);
+  mr.add("baseline", "snapshots", 0.0);
+  mr.add("checkpointed", "energy", e_ckpt);
+  mr.add("checkpointed", "wall_s", wall_ckpt);
+  mr.add("checkpointed", "snapshots", static_cast<double>(snapshots));
+  mr.add("checkpointed", "bitwise", e_ckpt == e_base ? 1.0 : 0.0);
+  mr.add("checkpointed", "overhead_pct",
+         100.0 * (wall_ckpt / wall_base - 1.0));
+  mr.add("kill_resume", "energy", e_resume);
+  mr.add("kill_resume", "wall_s", wall_killed + wall_resume);
+  mr.add("kill_resume", "snapshots", static_cast<double>(mgr2.sequence()));
+  mr.add("kill_resume", "bitwise", e_resume == e_base ? 1.0 : 0.0);
+  mr.write(bench::metrics_path(argc, argv));
+
   if (e_ckpt != e_base || e_resume != e_base) {
     std::cerr << "bench_checkpoint_resume: BITWISE MISMATCH\n";
     return 1;

@@ -12,23 +12,12 @@
 
 #include "common.hpp"
 
-namespace {
-
-std::vector<std::string> pct_row(const tt::rt::CostTracker& t) {
-  auto p = t.percentages();
-  std::vector<std::string> cells;
-  for (int c = 0; c < tt::rt::kNumCategories - 1; ++c)  // skip "Other"
-    cells.push_back(tt::fmt(p[static_cast<std::size_t>(c)], 1));
-  return cells;
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   tt::bench::print_driver_header("bench_fig7_breakdown");
   using namespace tt;
   auto spins = bench::Workload::spins();
   auto electrons = bench::Workload::electrons();
+  auto mr = bench::make_metrics("bench_fig7_breakdown");
 
   {
     Table t("Fig 7a — spins, list, Blue Waters (16/node): % time by category");
@@ -39,9 +28,12 @@ int main() {
       auto k = bench::measure_step(spins, dmrg::EngineKind::kList, ms[i]);
       const int nodes = nodes_for[std::min<std::size_t>(i, 3)];
       auto tr = bench::replayed(k, bench::cluster(rt::blue_waters(), nodes, 16));
-      auto p = pct_row(tr);
+      auto p = bench::pct_cells(tr);
       t.row({fmt_int(k.m_actual), std::to_string(nodes), p[0], p[1], p[2], p[3],
              p[4]});
+      mr.add_tracker("fig7a.m" + std::to_string(ms[i]) + ".nodes" +
+                         std::to_string(nodes),
+                     tr);
     }
     t.print();
     std::cout << "\n";
@@ -57,12 +49,16 @@ int main() {
       auto k = bench::measure_step(electrons, kind, m);
       auto bw = bench::replayed(k, bench::cluster(rt::blue_waters(), 4, 16));
       auto s2 = bench::replayed(k, bench::cluster(rt::stampede2(), 8, 64));
-      auto pbw = pct_row(bw);
-      auto ps2 = pct_row(s2);
+      auto pbw = bench::pct_cells(bw);
+      auto ps2 = bench::pct_cells(s2);
       t.row({"blue-waters", dmrg::engine_name(kind), pbw[0], pbw[1], pbw[2],
              pbw[3], pbw[4]});
       t.row({"stampede2", dmrg::engine_name(kind), ps2[0], ps2[1], ps2[2], ps2[3],
              ps2[4]});
+      mr.add_tracker(std::string("fig7b.blue-waters.") + dmrg::engine_name(kind),
+                     bw);
+      mr.add_tracker(std::string("fig7b.stampede2.") + dmrg::engine_name(kind),
+                     s2);
     }
     t.print();
   }
@@ -71,5 +67,6 @@ int main() {
                "(a); in (b) the list algorithm pays more communication on Blue\n"
                "Waters and more transposition on Stampede2, while sparse-sparse\n"
                "shifts time into (sparse) GEMM.\n";
+  mr.write(bench::metrics_path(argc, argv));
   return 0;
 }

@@ -17,6 +17,9 @@ int main(int argc, char** argv) {
     return 0;
   const index_t m = bench::spin_ms().back();  // paper: m = 8192 fixed
   auto k = bench::measure_step(spins, dmrg::EngineKind::kList, m);
+  auto mr = bench::make_metrics("bench_fig9_strong_scaling_spins");
+  mr.add_context("workload", spins.name);
+  mr.add_context("m_equiv", static_cast<double>(bench::m_equiv(k.m_actual)));
 
   bench::Csv csv(bench::csv_path(argc, argv),
                  "driver,workload,source,m_equiv,ppn,nodes,sim_s,speedup,efficiency");
@@ -26,7 +29,8 @@ int main(int argc, char** argv) {
   for (int ppn : {16, 32}) {
     const double t1 = bench::sim_seconds(k, bench::cluster(rt::blue_waters(), 1, ppn));
     for (int nodes : bench::node_counts(64)) {
-      const double tn = bench::sim_seconds(k, bench::cluster(rt::blue_waters(), nodes, ppn));
+      const auto tr = bench::replayed(k, bench::cluster(rt::blue_waters(), nodes, ppn));
+      const double tn = tr.total_time();
       const double speedup = t1 / tn;
       t.row({std::to_string(ppn), std::to_string(nodes), fmt_sci(tn, 2),
              fmt(speedup, 2), fmt(speedup / nodes, 2)});
@@ -34,9 +38,15 @@ int main(int argc, char** argv) {
                std::to_string(bench::m_equiv(k.m_actual)), std::to_string(ppn),
                std::to_string(nodes), fmt_sci(tn, 6), fmt(speedup, 4),
                fmt(speedup / nodes, 4)});
+      const std::string sec =
+          "fig9.ppn" + std::to_string(ppn) + ".nodes" + std::to_string(nodes);
+      mr.add(sec, "speedup", speedup);
+      mr.add(sec, "efficiency", speedup / nodes);
+      mr.add_tracker(sec, tr);
     }
   }
   t.print();
+  mr.write(bench::metrics_path(argc, argv));
 
   std::cout << "\nShape to reproduce (paper Fig 9): speedup saturates after a\n"
                "few doublings; efficiency drops to roughly 60% and below as the\n"

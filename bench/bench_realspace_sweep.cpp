@@ -62,6 +62,9 @@ int main(int argc, char** argv) {
                  "prefetch_wait_s,total_flops");
 
   const std::string workload = "heisenberg-chain-" + std::to_string(n);
+  auto mr = bench::make_metrics("bench_realspace_sweep");
+  mr.add_context("workload", workload);
+  mr.add_context("sweeps", static_cast<double>(sweeps));
   std::vector<double> totals;
   std::vector<double> finals;
   for (const Config& c : configs) {
@@ -111,6 +114,13 @@ int main(int argc, char** argv) {
                fmt_sci(r.rec.costs.flops(), 6)});
     }
     t.print();
+    bench::print_metrics_summary(std::string("breakdown — ") + c.label +
+                                     ", final sweep",
+                                 rows.back().rec.costs);
+    // Section per config keyed on the final sweep; total wall time covers all.
+    const std::string sec = c.label;
+    bench::add_sweep_metrics(mr, sec, rows.back().rec);
+    mr.add(sec, "total_wall_s", total);
     std::cout << "\n";
   }
 
@@ -126,5 +136,6 @@ int main(int argc, char** argv) {
                "configurations (serial rows bitwise equal); real-space rows\n"
                "trade a small early-sweep energy lag for intra-sweep\n"
                "parallelism across regions.\n";
+  mr.write(bench::metrics_path(argc, argv));
   return 0;
 }

@@ -1,5 +1,8 @@
 #include "common.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -33,6 +36,54 @@ std::string arg_value(int argc, char** argv, const char* flag,
 
 std::string csv_path(int argc, char** argv) {
   return arg_value(argc, argv, "--csv");
+}
+
+std::string metrics_path(int argc, char** argv) {
+  return arg_value(argc, argv, "--metrics");
+}
+
+rt::MetricsRegistry make_metrics(const std::string& driver) {
+  rt::MetricsRegistry mr(driver);
+  mr.add_context("backend", std::string(linalg::backend_name()));
+  mr.add_context("threads", static_cast<double>(support::num_threads()));
+  mr.add_context("scale_factor", scale_factor());
+  return mr;
+}
+
+std::vector<std::string> pct_cells(const rt::CostTracker& t, int decimals) {
+  const auto p = t.percentages();
+  std::vector<std::string> cells;
+  cells.reserve(static_cast<std::size_t>(rt::kNumCategories) - 1);
+  for (int c = 0; c < rt::kNumCategories - 1; ++c)  // skip trailing "Other"
+    cells.push_back(fmt(p[static_cast<std::size_t>(c)], decimals));
+  return cells;
+}
+
+void print_metrics_summary(const std::string& title, const rt::CostTracker& t,
+                           std::ostream& os) {
+  os << title << ": total " << fmt_sci(t.total_time(), 2) << " s";
+  const auto p = t.percentages();
+  for (int c = 0; c < rt::kNumCategories; ++c) {
+    if (t.time(static_cast<rt::Category>(c)) <= 0.0) continue;
+    os << " | " << rt::category_name(static_cast<rt::Category>(c)) << " "
+       << fmt(p[static_cast<std::size_t>(c)], 1) << "%";
+  }
+  os << "\n";
+}
+
+void add_sweep_metrics(rt::MetricsRegistry& mr, const std::string& sec,
+                       const dmrg::SweepRecord& rec) {
+  mr.add(sec, "sweep", static_cast<double>(rec.sweep));
+  mr.add(sec, "energy", rec.energy);
+  mr.add(sec, "max_bond_dim", static_cast<double>(rec.max_bond_dim));
+  mr.add(sec, "truncation_error", rec.truncation_error);
+  mr.add(sec, "wall_s", rec.wall_seconds);
+  mr.add(sec, "mode", std::string(dmrg::sweep_mode_name(rec.mode)));
+  mr.add(sec, "regions", static_cast<double>(rec.regions));
+  mr.add(sec, "prefetch_launched", static_cast<double>(rec.prefetch_launched));
+  mr.add(sec, "prefetch_hits", static_cast<double>(rec.prefetch_hits));
+  mr.add(sec, "prefetch_wait_s", rec.prefetch_wait_seconds);
+  mr.add_tracker(sec, rec.costs);
 }
 
 Csv::Csv(const std::string& path, const std::string& header) {
@@ -209,6 +260,48 @@ DistMeasurement measure_step_distributed(const Workload& w, index_t m, int ranks
   return d;
 }
 
+namespace {
+
+// One short prefetch-overlapped sweep through a `ranks`-rank scheduler: the
+// full pipeline — rank-sharded contractions, async environment prefetch, and
+// Davidson — in one run, so a TT_TRACE'd `--ranks` invocation records spans
+// from every rank *and* the sweep-turn prefetch/Davidson overlap (the in-
+// flight extension a turn bond never demands; see dmrg.cpp optimize_bond).
+// Small m on purpose: this is a smoke for the timeline, not a measurement.
+//
+// At bench scale the prefetch engine runs locally while theta and Davidson
+// pay real IPC through the scheduler, so the in-flight extension would finish
+// under theta and the turn overlap — which at paper scale is a same-order
+// contraction — would be invisible in the timeline. A stall of one measured
+// bond-wall (same host, same load, so it tracks theta robustly) keeps the
+// future alive into the Davidson window.
+dmrg::SweepRecord pipeline_smoke(const Workload& w, index_t m, int ranks,
+                                 double bond_wall_s) {
+  Rng rng(1);
+  mps::Mps psi = mps::Mps::random(w.sites, w.sector, m, rng);
+
+  rt::SchedulerOptions sopts;
+  sopts.num_ranks = ranks;
+  rt::Scheduler sched(sopts);  // forks before the prefetch queue exists
+
+  auto engine = dmrg::make_engine(dmrg::EngineKind::kList, {rt::blue_waters(), 1, 16});
+  engine->set_scheduler(&sched);
+  dmrg::Dmrg solver(std::move(psi), w.h, std::move(engine));
+
+  const long delay_ms = std::min<long>(
+      500, std::max<long>(50, std::lround(bond_wall_s * 1000.0)));
+  solver.environments().set_prefetch_delay_for_testing(
+      std::chrono::milliseconds(delay_ms));
+
+  dmrg::SweepParams params;
+  params.max_m = m;
+  params.davidson_iter = 2;
+  params.prefetch = true;
+  return solver.sweep(params);
+}
+
+}  // namespace
+
 bool distributed_mode(int argc, char** argv, const std::string& driver,
                       const Workload& w, const std::vector<index_t>& ms) {
   Cli cli(argc, argv);
@@ -218,14 +311,23 @@ bool distributed_mode(int argc, char** argv, const std::string& driver,
   Csv csv(csv_path(argc, argv),
           "driver,workload,source,m_bench,m_equiv,ranks,mode,seconds,gemm_s,"
           "comm_s,imbalance_s,words_moved,bytes_moved,flops");
+  rt::MetricsRegistry mr = make_metrics(driver);
+  mr.add_context("workload", w.name);
+  mr.add_context("ranks", static_cast<double>(ranks));
+  mr.add_context("mode",
+                 std::string(rt::spawn_mode_name(rt::spawn_mode_from_env())));
 
   Table t(driver + " — measured distributed steps, " + w.name + " list at --ranks " +
           std::to_string(ranks) + " (" + rt::spawn_mode_name(
               rt::spawn_mode_from_env()) + " mode)");
   t.header({"m(eq)", "ranks", "wall s", "gemm s", "comm s", "imb s", "MB moved",
             "bins"});
+  rt::CostTracker measured_total;
+  double first_step_wall = 0.0;
   for (index_t m : ms) {
     const DistMeasurement d = measure_step_distributed(w, m, ranks);
+    if (first_step_wall == 0.0) first_step_wall = d.wall_seconds;
+    measured_total.merge(d.costs);
     int bins = 0;
     for (const auto& r : d.dist.ranks) bins += r.bins;
     t.row({fmt_int(m_equiv(d.m_actual)), std::to_string(d.ranks),
@@ -244,6 +346,12 @@ bool distributed_mode(int argc, char** argv, const std::string& driver,
              fmt_sci(d.costs.words(), 6), fmt_sci(d.dist.total_bytes(), 6),
              fmt_sci(d.flops, 6)});
 
+    const std::string sec = "measured.m" + std::to_string(m);
+    mr.add(sec, "wall_s", d.wall_seconds);
+    mr.add(sec, "m_equiv", static_cast<double>(m_equiv(d.m_actual)));
+    mr.add_tracker(sec, d.costs);
+    mr.add_dist(sec, d.dist);
+
     // BSP-replayed analogue at `ranks` virtual nodes, for contrast: simulated
     // seconds on a scaled virtual cluster, not this machine's wall time (see
     // docs/BENCHMARKS.md, "Measured vs replayed").
@@ -257,13 +365,29 @@ bool distributed_mode(int argc, char** argv, const std::string& driver,
              fmt_sci(sim.time(rt::Category::kImbalance), 6),
              fmt_sci(sim.words(), 6), fmt_sci(sim.words() * 8.0, 6),
              fmt_sci(sim.flops(), 6)});
+    mr.add_tracker("replayed.m" + std::to_string(m), sim);
   }
   t.print();
+  print_metrics_summary("\nmeasured breakdown (all steps)", measured_total);
+
+  // Full-pipeline smoke: one prefetch-overlapped sweep through the same
+  // scheduler config, so a traced run (TT_TRACE=...) shows rank-sharded
+  // contraction spans AND the prefetch/Davidson overlap in one timeline.
+  const index_t m_smoke = std::min<index_t>(ms.front(), 32);
+  const dmrg::SweepRecord smoke =
+      pipeline_smoke(w, m_smoke, ranks, first_step_wall);
+  std::cout << "pipeline smoke: 1 sweep at m=" << m_smoke << ", E = "
+            << fmt_sci(smoke.energy, 6) << ", prefetch "
+            << smoke.prefetch_hits << "/" << smoke.prefetch_launched
+            << " hits\n";
+  add_sweep_metrics(mr, "pipeline_smoke", smoke);
+
   std::cout << "\nMeasured mode: real multi-" << rt::spawn_mode_name(
                    rt::spawn_mode_from_env())
             << " execution on this host — bytes and idle tails are transport\n"
                "measurements, not cost-model output. Replayed rows (CSV) price\n"
                "the same numerics on a scaled virtual cluster instead.\n";
+  mr.write(metrics_path(argc, argv));
   return true;
 }
 

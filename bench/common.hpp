@@ -9,7 +9,7 @@
 // figure benches share them.
 #pragma once
 
-#include <iosfwd>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +20,7 @@
 #include "models/hubbard.hpp"
 #include "models/lattice.hpp"
 #include "models/spin_half.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/table.hpp"
 
@@ -41,6 +42,33 @@ std::string arg_value(int argc, char** argv, const char* flag,
 
 /// Value of a "--csv <path>" argument, or "" when absent.
 std::string csv_path(int argc, char** argv);
+
+/// Value of a "--metrics <path>" argument, or "" when absent. Drivers write a
+/// tt-metrics-v1 JSON document there (see runtime/metrics.hpp); passing the
+/// file to bench/trajectory_diff.py diffs its per-category breakdowns against
+/// the committed trajectory snapshot.
+std::string metrics_path(int argc, char** argv);
+
+/// MetricsRegistry pre-loaded with the context every driver shares: linalg
+/// backend, thread count, scale factor.
+rt::MetricsRegistry make_metrics(const std::string& driver);
+
+/// Per-category percentage cells of a breakdown table row — one cell per
+/// category except the trailing kOther (the paper Fig 7 convention). The one
+/// formatter behind every driver's breakdown table.
+std::vector<std::string> pct_cells(const rt::CostTracker& t, int decimals = 1);
+
+/// One standardized breakdown line — total (simulated or measured) seconds
+/// followed by each nonzero category's share — replacing the drivers'
+/// hand-rolled stats printing.
+void print_metrics_summary(const std::string& title, const rt::CostTracker& t,
+                           std::ostream& os = std::cout);
+
+/// Flatten a SweepRecord into `mr` section `sec`: energy, bond dimension,
+/// wall time, cost breakdown, prefetch counters. Lives here because
+/// rt::MetricsRegistry cannot depend on the dmrg layer.
+void add_sweep_metrics(rt::MetricsRegistry& mr, const std::string& sec,
+                       const dmrg::SweepRecord& rec);
 
 /// Append-only CSV emitter for the artifact pipeline. Inactive (row() is a
 /// no-op) when constructed without a path; writes the header line on open.

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Compare fresh bench CSV runs against a committed trajectory snapshot.
+"""Compare fresh bench CSV/metrics runs against a committed trajectory snapshot.
 
 The committed snapshots under bench/trajectories/BENCH_*.json record CSV rows
 from prior --csv bench runs (see the "notes" field of the snapshot for the
-measured-vs-replayed caveats). This script re-matches rows from one or more
-fresh CSV files against the snapshot and flags wall-time regressions:
+measured-vs-replayed caveats) plus tt-metrics-v1 documents from --metrics
+runs. This script re-matches rows from one or more fresh CSV files against
+the snapshot and flags wall-time regressions:
 
     python3 bench/trajectory_diff.py fig9_ranks2.csv [more.csv ...]
     python3 bench/trajectory_diff.py --baseline bench/trajectories/BENCH_2026-08-07.json \
@@ -17,6 +18,14 @@ committed one counts as a regression and the script exits 1 — unless
 ``--allow-regressions`` is passed, which reports but exits 0 (the CI smoke
 mode: absolute seconds are host-dependent, so shared runners only verify the
 pipeline and print the drift).
+
+Fresh inputs ending in .json are parsed as tt-metrics-v1 documents (the
+--metrics output of the bench drivers). Their sections are matched against
+the snapshot's ``runs[].metrics`` documents on (driver, section name), and
+the per-category percentage breakdown keys (``pct.*``) are diffed: a category
+share shifting by more than ``--pct-threshold`` percentage points (default
+10) counts as a regression. Unlike raw seconds, the *shape* of the breakdown
+transfers across hosts, so these checks stay meaningful on shared runners.
 """
 
 import argparse
@@ -54,7 +63,12 @@ def fail(message):
     raise SystemExit(2)
 
 
-def load_baseline_rows(path):
+def load_baseline(path):
+    """Return (csv_rows, metrics_sections) from a trajectory snapshot.
+
+    metrics_sections maps (driver, section_name) -> {key: value} from the
+    snapshot's runs[].metrics tt-metrics-v1 documents.
+    """
     try:
         with open(path) as f:
             snap = json.load(f)
@@ -63,12 +77,37 @@ def load_baseline_rows(path):
     except json.JSONDecodeError as e:
         fail(f"baseline snapshot '{path}' is not valid JSON ({e})")
     rows = []
+    sections = {}
     for run in snap.get("runs", []):
         rows.extend(run.get("rows", []))
-    if not rows:
-        fail(f"baseline snapshot '{path}' contains no rows "
-             "(expected runs[].rows from a --csv bench run)")
-    return rows
+        doc = run.get("metrics")
+        if doc:
+            sections.update(metrics_sections(doc))
+    if not rows and not sections:
+        fail(f"baseline snapshot '{path}' contains no rows or metrics "
+             "(expected runs[].rows / runs[].metrics from bench runs)")
+    return rows, sections
+
+
+def metrics_sections(doc):
+    """Flatten a tt-metrics-v1 document to {(driver, section): values}."""
+    if doc.get("schema") != "tt-metrics-v1":
+        fail(f"metrics document has schema {doc.get('schema')!r}, "
+             "expected 'tt-metrics-v1'")
+    driver = doc.get("driver", "")
+    return {(driver, s["name"]): s.get("values", {})
+            for s in doc.get("sections", [])}
+
+
+def load_fresh_metrics(path):
+    try:
+        with open(path) as f:
+            return metrics_sections(json.load(f))
+    except OSError as e:
+        fail(f"cannot read metrics '{path}': {e.strerror}")
+    except json.JSONDecodeError as e:
+        fail(f"'{path}' is not valid JSON ({e}) — expected a --metrics "
+             "bench output")
 
 
 def load_csv_rows(path):
@@ -88,11 +127,16 @@ def load_csv_rows(path):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("fresh", nargs="+", help="CSV files from fresh --csv runs")
+    ap.add_argument("fresh", nargs="+",
+                    help="fresh runs: --csv outputs (*.csv) and/or "
+                         "--metrics outputs (*.json)")
     ap.add_argument("--baseline", default=default_baseline(),
                     help="trajectory snapshot (default: newest bench/trajectories/BENCH_*.json)")
     ap.add_argument("--threshold", type=float, default=0.10,
                     help="relative wall-time increase that counts as a regression")
+    ap.add_argument("--pct-threshold", type=float, default=10.0,
+                    help="percentage-point breakdown shift that counts as a "
+                         "regression (metrics inputs)")
     ap.add_argument("--allow-regressions", action="store_true",
                     help="report regressions but exit 0 (CI smoke mode)")
     args = ap.parse_args()
@@ -101,14 +145,38 @@ def main():
         print("trajectory_diff: no baseline snapshot found", file=sys.stderr)
         return 2
 
+    base_rows, base_sections = load_baseline(args.baseline)
     base_by_id = {}
-    for row in load_baseline_rows(args.baseline):
+    for row in base_rows:
         base_by_id[identity(row)] = row
 
     matched = 0
     unmatched = 0
     regressions = []
-    for path in args.fresh:
+    for path in (p for p in args.fresh if p.endswith(".json")):
+        for (driver, sec), values in load_fresh_metrics(path).items():
+            base = base_sections.get((driver, sec))
+            if base is None:
+                unmatched += 1
+                continue
+            matched += 1
+            for key, fresh_v in values.items():
+                if not key.startswith("pct.") or key not in base:
+                    continue
+                try:
+                    shift = float(fresh_v) - float(base[key])
+                except (TypeError, ValueError):
+                    fail(f"non-numeric '{key}' in '{path}' "
+                         f"(fresh={fresh_v!r}, baseline={base[key]!r})")
+                bad = abs(shift) > args.pct_threshold
+                print(f"{'REGRESSION' if bad else 'ok':10s} "
+                      f"{key}: {float(base[key]):.1f}% -> {float(fresh_v):.1f}% "
+                      f"({shift:+.1f}pp)  driver={driver} section={sec}")
+                if bad:
+                    regressions.append((f"driver={driver} section={sec}", key,
+                                        float(base[key]), float(fresh_v)))
+
+    for path in (p for p in args.fresh if not p.endswith(".json")):
         for row in load_csv_rows(path):
             base = base_by_id.get(identity(row))
             if base is None:
@@ -133,10 +201,11 @@ def main():
                 if drift > args.threshold:
                     regressions.append((label, field, base_t, fresh_t))
 
-    print(f"\ntrajectory_diff: {matched} rows matched against "
-          f"{os.path.basename(args.baseline)}, {unmatched} fresh rows had no "
-          f"committed counterpart, {len(regressions)} wall-time regressions "
-          f"beyond {args.threshold:.0%}.")
+    print(f"\ntrajectory_diff: {matched} rows/sections matched against "
+          f"{os.path.basename(args.baseline)}, {unmatched} fresh entries had "
+          f"no committed counterpart, {len(regressions)} regressions "
+          f"(time beyond {args.threshold:.0%} / breakdown beyond "
+          f"{args.pct_threshold:.0f}pp).")
     if regressions and not args.allow_regressions:
         return 1
     return 0

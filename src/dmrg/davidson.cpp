@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "linalg/eigen.hpp"
+#include "runtime/trace.hpp"
 #include "support/rng.hpp"
 
 namespace tt::dmrg {
@@ -38,9 +39,14 @@ DavidsonResult davidson(const BlockMatVec& apply, BlockTensor x0,
   Rng rng(opts.seed);
   DavidsonResult out;
 
+  auto traced_apply = [&apply](const BlockTensor& t) {
+    TT_TRACE_SPAN("davidson.matvec", rt::TraceCat::kDavidson);
+    return apply(t);
+  };
+
   std::vector<BlockTensor> v{std::move(x0)};
   std::vector<BlockTensor> va;  // A·v, aligned with v
-  va.push_back(apply(v[0]));
+  va.push_back(traced_apply(v[0]));
   ++out.matvecs;
 
   // Projected matrix entries m(i,j) = vᵢᵀ A vⱼ, grown incrementally.
@@ -108,7 +114,7 @@ DavidsonResult davidson(const BlockMatVec& apply, BlockTensor x0,
 
     // Extend the subspace (line 12).
     v.push_back(q);
-    va.push_back(apply(v.back()));
+    va.push_back(traced_apply(v.back()));
     ++out.matvecs;
     const int knew = static_cast<int>(v.size());
     for (int i = 0; i < knew; ++i) {

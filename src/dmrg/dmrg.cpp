@@ -4,6 +4,7 @@
 
 #include "dmrg/checkpoint.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/trace.hpp"
 #include "support/timer.hpp"
 
 namespace tt::dmrg {
@@ -52,13 +53,19 @@ BondUpdate solve_bond(ContractionEngine& eng, BlockTensor theta,
   auto apply = [&](const BlockTensor& x) {
     return apply_two_site(eng, left, w1, w2, right, x);
   };
-  DavidsonResult res = davidson(apply, std::move(theta), dopts);
+  DavidsonResult res = [&] {
+    TT_TRACE_SPAN("dmrg.davidson", rt::TraceCat::kDavidson);
+    return davidson(apply, std::move(theta), dopts);
+  }();
 
   // Split and truncate (paper fig 1e); singular values move with the sweep.
   symm::TruncParams trunc;
   trunc.cutoff = params.cutoff;
   trunc.max_dim = params.max_m;
-  symm::BlockSvd f = eng.svd(res.vector, {0, 1}, trunc);
+  symm::BlockSvd f = [&] {
+    TT_TRACE_SPAN("dmrg.svd", rt::TraceCat::kSvd);
+    return eng.svd(res.vector, {0, 1}, trunc);
+  }();
 
   BondUpdate u;
   u.energy = res.eigenvalue;
@@ -96,6 +103,7 @@ Dmrg::Dmrg(mps::Mps psi, mps::Mpo h, std::unique_ptr<ContractionEngine> engine)
 
 real_t Dmrg::optimize_bond(int j, const SweepParams& params, bool sweep_right) {
   TT_CHECK(j >= 0 && j + 1 < psi_.size(), "bond " << j << " out of range");
+  TT_TRACE_SPAN("dmrg.bond", rt::TraceCat::kSweep);
 
   // Two-site tensor θ(l, s1, s2, r) (paper §II.C).
   BlockTensor theta = engine_->contract(psi_.site(j), Role::kIntermediate,
@@ -182,6 +190,7 @@ SweepRecord Dmrg::sweep_serial(const SweepParams& params) {
 
 SweepRecord Dmrg::sweep_serial_from(const SweepParams& params, int phase,
                                     int start_bond, real_t max_trunc0) {
+  TT_TRACE_SPAN("dmrg.sweep", rt::TraceCat::kSweep);
   Timer timer;
   const rt::CostTracker start = engine_->tracker();
   const EnvGraph::PrefetchStats pf0 = envs_->prefetch_stats();

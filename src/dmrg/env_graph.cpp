@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "dmrg/environment.hpp"
+#include "runtime/trace.hpp"
 #include "support/error.hpp"
 
 namespace tt::dmrg {
@@ -79,6 +80,7 @@ void EnvGraph::produce(bool is_left, int j) {
     join_pending();
     return;
   }
+  TT_TRACE_SPAN("env.extend", rt::TraceCat::kEnv);
   std::vector<Node>& nodes = chain(is_left);
   Node& node = nodes[static_cast<std::size_t>(j)];
   if (is_left) {
@@ -142,6 +144,10 @@ void EnvGraph::prefetch(bool is_left, int j) {
   const std::chrono::milliseconds delay = pf_test_delay_;
   pf_future_ =
       pf_queue_->submit([this, pe, parent_t, psi_t, w_t, is_left, delay] {
+        // Runs on the TaskQueue worker thread: its own lane in the trace,
+        // where overlap with the main thread's Davidson spans is visible.
+        rt::Trace::set_thread_label("env-prefetch");
+        TT_TRACE_SPAN("env.prefetch", rt::TraceCat::kPrefetch);
         if (delay.count() > 0) std::this_thread::sleep_for(delay);
         pf_result_ = is_left ? extend_left(*pe, *parent_t, *psi_t, *w_t)
                              : extend_right(*pe, *parent_t, *psi_t, *w_t);
@@ -160,6 +166,7 @@ void EnvGraph::join_pending() {
     ++pf_stats_.hits;
   } else {
     ++pf_stats_.misses;
+    TT_TRACE_SPAN("env.prefetch_wait", rt::TraceCat::kPrefetch);
     const auto t0 = clock::now();
     pf_future_.wait();
     pf_stats_.wait_seconds +=

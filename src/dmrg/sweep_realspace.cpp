@@ -30,6 +30,7 @@
 #include "dmrg/dmrg.hpp"
 #include "dmrg/environment.hpp"
 #include "linalg/svd.hpp"
+#include "runtime/trace.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
@@ -134,6 +135,7 @@ RegionResult run_region(ContractionEngine& eng, std::vector<BlockTensor> piece,
 }  // namespace
 
 SweepRecord Dmrg::sweep_realspace(const SweepParams& params) {
+  TT_TRACE_SPAN("dmrg.sweep_realspace", rt::TraceCat::kSweep);
   Timer timer;
   const rt::CostTracker start = engine_->tracker();
   const auto regions = partition_regions(psi_.size(), params.regions);
@@ -199,6 +201,7 @@ SweepRecord Dmrg::sweep_realspace(const SweepParams& params) {
     p = make_engine(engine_->kind(), engine_->cluster(), engine_->params());
   std::vector<RegionResult> results(static_cast<std::size_t>(R));
   support::parallel_for(R, [&](index_t r) {
+    TT_TRACE_SPAN("dmrg.region", rt::TraceCat::kSweep);
     const std::size_t s = static_cast<std::size_t>(r);
     results[s] = run_region(*engines[s], std::move(pieces[s]), lfrz[s], rfrz[s],
                             h_, regions[s].first, params);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "runtime/fault.hpp"
+#include "runtime/trace.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -22,6 +23,10 @@ constexpr std::uint32_t kTagTask = 1;
 constexpr std::uint32_t kTagResult = 2;
 constexpr std::uint32_t kTagShutdown = 3;
 constexpr std::uint32_t kTagError = 4;
+// A fork()ed worker answers the shutdown frame with its recorded trace spans
+// (rt::Trace buffers) so rank timelines merge into the root's export. Thread
+// workers share the root's tracer and never ship.
+constexpr std::uint32_t kTagTrace = 5;
 
 // Workers idle between contractions; a crashed root surfaces as EOF, not a
 // timeout, so the idle wait can be far more generous than the per-operation
@@ -90,6 +95,7 @@ WorkerTask parse_task(const std::vector<std::byte>& payload) {
 
 // Executes one parsed task and serializes the reply payload.
 std::vector<std::byte> run_task(const WorkerTask& task) {
+  TT_TRACE_SPAN("sched.worker_task", TraceCat::kContract);
   std::vector<symm::BinExecution> done(task.bins.size());
   Timer busy;
   support::parallel_for(
@@ -132,7 +138,20 @@ void worker_loop(int rank, Channel& ch) {
     } catch (const Error&) {
       return;  // root gone (EOF) or wedged; nothing left to serve
     }
-    if (f.tag == kTagShutdown) return;
+    if (f.tag == kTagShutdown) {
+      // Ship recorded spans home before exiting so this rank's timeline joins
+      // the root's export. Only fork()ed workers own a private tracer; thread
+      // workers already share the root's buffers.
+      Trace& trace = Trace::instance();
+      if (trace.enabled() && trace.is_forked_child()) {
+        try {
+          ch.send_frame(kTagTrace, trace.serialize_and_clear(), 2.0);
+        } catch (const Error&) {
+          // Root gone or not collecting; the spans die with this process.
+        }
+      }
+      return;
+    }
     if (f.tag != kTagTask) return;  // protocol violation: stop serving
     double timeout = kDefaultTimeoutSeconds;
     try {
@@ -237,6 +256,7 @@ int Scheduler::live_workers() const {
 
 void Scheduler::heal(const std::vector<int>& dead_ranks, DistStats& d) {
   if (dead_ranks.empty() || group_ == nullptr) return;
+  TT_TRACE_SPAN("sched.heal", TraceCat::kRecovery);
   Timer rec;
   for (int r : dead_ranks) {
     if (!live_[static_cast<std::size_t>(r)]) continue;  // duplicate report
@@ -282,6 +302,19 @@ void Scheduler::shutdown() {
       // Dead workers are reaped by join() below.
     }
   }
+  // Fork()ed workers answer the shutdown frame with their trace buffers;
+  // absorb them so the export holds every rank's timeline. A worker that died
+  // or predates tracing simply times out / EOFs — ignore it.
+  if (Trace::instance().enabled() && opts_.mode == SpawnMode::kProcess) {
+    for (int r = 1; r < opts_.num_ranks; ++r) {
+      try {
+        if (!group_->channel(r).open()) continue;
+        const Frame f = group_->channel(r).recv_frame(2.0);
+        if (f.tag == kTagTrace) Trace::instance().absorb(f.payload, r);
+      } catch (const Error&) {
+      }
+    }
+  }
   group_->join(/*timeout_seconds=*/5.0);
   group_.reset();
 }
@@ -292,6 +325,7 @@ symm::BlockTensor Scheduler::contract(const symm::BlockTensor& a,
                                       symm::ContractStats* stats) {
   TT_CHECK(!broken_,
            "scheduler is broken after a failed exchange; construct a new one");
+  TT_TRACE_SPAN("sched.contract", TraceCat::kScheduler);
   const symm::ContractPlan plan = symm::make_contract_plan(a, b, pairs);
   symm::BlockTensor c(plan.out_indices, plan.out_flux);
   const std::vector<symm::OutputBin> bins = symm::enumerate_bins(a, b, pairs, plan);
@@ -340,6 +374,7 @@ symm::BlockTensor Scheduler::contract(const symm::BlockTensor& a,
 
   // --- ship operand slices + bin lists to the workers ------------------------
   if (group_) {
+    TT_TRACE_SPAN("sched.ship", TraceCat::kScheduler);
     for (int s = 1; s < S; ++s) {
       const int r = slot_rank[static_cast<std::size_t>(s)];
       Channel& ch = group_->channel(r);
@@ -424,6 +459,7 @@ symm::BlockTensor Scheduler::contract(const symm::BlockTensor& a,
   // --- execute the root's own share while the workers run theirs -------------
   std::vector<symm::BinExecution> done(bins.size());
   {
+    TT_TRACE_SPAN("sched.root_bins", TraceCat::kContract);
     const std::vector<std::size_t>& mine = slot_bins[0];
     Timer busy;
     support::parallel_for(
@@ -440,6 +476,7 @@ symm::BlockTensor Scheduler::contract(const symm::BlockTensor& a,
 
   // --- gather worker results in fixed slot order -----------------------------
   if (group_) {
+    TT_TRACE_SPAN("sched.gather", TraceCat::kScheduler);
     for (int s = 1; s < S; ++s) {
       if (slot_failed[static_cast<std::size_t>(s)]) continue;
       const int r = slot_rank[static_cast<std::size_t>(s)];
@@ -537,6 +574,7 @@ symm::BlockTensor Scheduler::contract(const symm::BlockTensor& a,
         ++stats_.retries;
       }
     if (!makeup.empty()) {
+      TT_TRACE_SPAN("sched.makeup", TraceCat::kRecovery);
       Timer rec;
       support::parallel_for(
           static_cast<index_t>(makeup.size()),
@@ -578,6 +616,8 @@ symm::BlockTensor Scheduler::contract(const symm::BlockTensor& a,
 
   // --- respawn dead ranks (bounded attempts + backoff) -----------------------
   heal(dead_ranks, d);
+  if (!dead_ranks.empty())
+    TT_TRACE_COUNTER("live_workers", static_cast<double>(live_workers()));
 
   last_ = d;
   accumulated_.merge(d);

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "runtime/fault.hpp"
+#include "runtime/trace.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -166,6 +167,7 @@ void Channel::read_all(std::byte* p, std::size_t n, double timeout_seconds,
 
 void Channel::send_frame(std::uint32_t tag, const std::vector<std::byte>& payload,
                          double timeout_seconds) {
+  TT_TRACE_SPAN("wire.send", TraceCat::kComm);
   Timer t;
   FaultInjector& inj = FaultInjector::instance();
   FaultSpec delay;
@@ -212,6 +214,7 @@ void Channel::send_frame(std::uint32_t tag, const std::vector<std::byte>& payloa
 }
 
 Frame Channel::recv_frame(double timeout_seconds) {
+  TT_TRACE_SPAN("wire.recv", TraceCat::kComm);
   Timer t;
   std::byte header[kHeaderBytes];
   read_all(header, kHeaderBytes, timeout_seconds, /*eof_is_truncation=*/false);
@@ -268,6 +271,7 @@ void WorkerGroup::spawn_rank(int rank) {
       for (Channel& c : root_channels_) c.close();
       root_end.close();
       support::notify_fork_child();
+      Trace::instance().notify_fork_child(rank);
       try {
         fn_(rank, worker_end);
         worker_end.close();
@@ -287,6 +291,10 @@ void WorkerGroup::spawn_rank(int rank) {
     const WorkerFn& fn = fn_;
     worker_threads_[static_cast<std::size_t>(rank)] =
         std::thread([fn, rank, wc_raw] {
+          // Tag before the first recorded event so this worker's spans land
+          // on its own rank lane of the merged trace.
+          Trace::set_thread_rank(rank);
+          Trace::set_thread_label("sched-worker");
           try {
             fn(rank, *wc_raw);
           } catch (...) {

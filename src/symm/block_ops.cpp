@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "runtime/trace.hpp"
 #include "support/thread_pool.hpp"
 #include "tensor/einsum.hpp"
 
@@ -143,6 +144,7 @@ BinExecution execute_bin(const OutputBin& bin, const std::string& spec,
 BlockTensor contract(const BlockTensor& a, const BlockTensor& b,
                      const std::vector<std::pair<int, int>>& pairs,
                      ContractStats* stats, const ContractOptions& opts) {
+  TT_TRACE_SPAN("symm.contract", rt::TraceCat::kContract);
   const ContractPlan plan = make_contract_plan(a, b, pairs);
   BlockTensor c(plan.out_indices, plan.out_flux);
 
@@ -153,6 +155,7 @@ BlockTensor contract(const BlockTensor& a, const BlockTensor& b,
   support::parallel_for(
       static_cast<index_t>(bins.size()),
       [&](index_t bi) {
+        TT_TRACE_SPAN("symm.bin", rt::TraceCat::kContract);
         done[static_cast<std::size_t>(bi)] = execute_bin(
             bins[static_cast<std::size_t>(bi)], plan.spec, collect_ops,
             opts.block_hook);

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "runtime/tracker.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
@@ -135,6 +138,55 @@ TEST(Tracker, CategoryNames) {
   EXPECT_STREQ(tt::rt::category_name(Category::kGemm), "GEMM");
   EXPECT_STREQ(tt::rt::category_name(Category::kSvd), "SVD");
   EXPECT_STREQ(tt::rt::category_name(Category::kTranspose), "CTF transposition");
+}
+
+TEST(Tracker, EveryCategoryHasAName) {
+  // A category added to the enum without a category_name entry would fall
+  // through to the switch default; metrics keys ("pct.<name>") and breakdown
+  // tables would silently share a label.
+  std::set<std::string> names;
+  for (int c = 0; c < tt::rt::kNumCategories; ++c) {
+    const char* name = tt::rt::category_name(static_cast<Category>(c));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "");
+    EXPECT_STRNE(name, "?");
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(),
+            static_cast<std::size_t>(tt::rt::kNumCategories));  // all distinct
+}
+
+TEST(Tracker, PercentagesAtZeroTotalStayFiniteAfterCharges) {
+  // Zero-duration charges move flops/words but no time: percentages must not
+  // divide by the zero total.
+  CostTracker t;
+  t.add_time(Category::kGemm, 0.0);
+  t.add_flops(100.0);
+  t.add_words(10.0);
+  EXPECT_DOUBLE_EQ(t.total_time(), 0.0);
+  for (double v : t.percentages()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Tracker, DiffAfterMergeIsolatesTheMergedCharges) {
+  CostTracker t;
+  t.add_time(Category::kGemm, 1.0);
+  t.add_flops(5.0);
+  const CostTracker before = t;
+
+  CostTracker other;
+  other.add_time(Category::kComm, 2.0);
+  other.add_time(Category::kGemm, 0.5);
+  other.add_words(4.0);
+  other.add_supersteps(1.0);
+  t.merge(other);
+
+  const CostTracker d = t.diff(before);
+  EXPECT_DOUBLE_EQ(d.time(Category::kGemm), 0.5);
+  EXPECT_DOUBLE_EQ(d.time(Category::kComm), 2.0);
+  EXPECT_DOUBLE_EQ(d.flops(), 0.0);
+  EXPECT_DOUBLE_EQ(d.words(), 4.0);
+  EXPECT_DOUBLE_EQ(d.supersteps(), 1.0);
+  EXPECT_DOUBLE_EQ(d.total_time(), 2.5);
 }
 
 }  // namespace
