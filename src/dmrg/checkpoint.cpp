@@ -17,6 +17,7 @@ constexpr int kSnapshotVersion = 1;
 constexpr int kManifestVersion = 1;
 
 std::uint64_t checksum_of(const std::string& blob) {
+  // tt-lint: allow(raw-cast-audit) read-only byte view of an already-serialized blob for checksumming; no object is reinterpreted
   return rt::wire_checksum(reinterpret_cast<const std::byte*>(blob.data()),
                            blob.size());
 }

@@ -46,6 +46,8 @@ DavidsonResult davidson(const BlockMatVec& apply, BlockTensor x0,
 
   std::vector<BlockTensor> v{std::move(x0)};
   std::vector<BlockTensor> va;  // A·v, aligned with v
+  v.reserve(static_cast<std::size_t>(opts.subspace));
+  va.reserve(static_cast<std::size_t>(opts.subspace));
   va.push_back(traced_apply(v[0]));
   ++out.matvecs;
 

@@ -25,6 +25,7 @@ class SpinBasis {
  private:
   int nsites_;
   std::vector<std::uint64_t> states_;
+  // tt-lint: allow(ordered-iteration) lookup-only: filled once in the ctor, queried via find(); enumeration always walks states_, which is ascending
   std::unordered_map<std::uint64_t, index_t> lookup_;
 };
 
@@ -42,7 +43,8 @@ class ElectronBasis {
  private:
   int nsites_;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> states_;
-  std::unordered_map<std::uint64_t, index_t> lookup_;  // key = up<<32 | dn
+  // tt-lint: allow(ordered-iteration) lookup-only: filled once in the ctor, queried via find(); key = up<<32 | dn
+  std::unordered_map<std::uint64_t, index_t> lookup_;
 };
 
 /// All bit masks over `n` bits with exactly `k` set, ascending.

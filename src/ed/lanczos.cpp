@@ -40,8 +40,12 @@ LanczosResult lanczos_ground_state(index_t dim, const MatVec& matvec, int max_it
   }
 
   Rng rng(seed);
+  const int iters = static_cast<int>(std::min<index_t>(max_iter, dim));
   std::vector<std::vector<real_t>> v;  // Lanczos basis (full storage)
   std::vector<real_t> alpha, beta;
+  v.reserve(static_cast<std::size_t>(iters) + 1);
+  alpha.reserve(static_cast<std::size_t>(iters));
+  beta.reserve(static_cast<std::size_t>(iters));
 
   std::vector<real_t> q(static_cast<std::size_t>(dim));
   for (auto& e : q) e = rng.normal();
@@ -53,7 +57,6 @@ LanczosResult lanczos_ground_state(index_t dim, const MatVec& matvec, int max_it
 
   std::vector<real_t> w(static_cast<std::size_t>(dim));
   real_t prev_eval = 0.0;
-  const int iters = static_cast<int>(std::min<index_t>(max_iter, dim));
 
   for (int it = 0; it < iters; ++it) {
     matvec(v.back(), w);

@@ -18,9 +18,13 @@ using support::openmp_allowed;
 // unrelated pointers directly is unspecified).
 bool ranges_overlap(const real_t* a, index_t na, const real_t* b, index_t nb) {
   if (na <= 0 || nb <= 0) return false;
+  // tt-lint: allow(raw-cast-audit) pointer-to-integer for address ordering only; nothing is dereferenced through the cast
   const auto a0 = reinterpret_cast<std::uintptr_t>(a);
+  // tt-lint: allow(raw-cast-audit) pointer-to-integer for address ordering only; nothing is dereferenced through the cast
   const auto a1 = reinterpret_cast<std::uintptr_t>(a + na);
+  // tt-lint: allow(raw-cast-audit) pointer-to-integer for address ordering only; nothing is dereferenced through the cast
   const auto b0 = reinterpret_cast<std::uintptr_t>(b);
+  // tt-lint: allow(raw-cast-audit) pointer-to-integer for address ordering only; nothing is dereferenced through the cast
   const auto b1 = reinterpret_cast<std::uintptr_t>(b + nb);
   return a0 < b1 && b0 < a1;
 }

@@ -36,7 +36,12 @@ void jacobi_orthogonalize(Matrix& wt, Matrix& vr) {
           aij += wi[k] * wj[k];
         }
         if (aii == 0.0 || ajj == 0.0) continue;
-        const real_t rel = std::abs(aij) / std::sqrt(aii * ajj);
+        // sqrt(aii)*sqrt(ajj), not sqrt(aii*ajj): the product underflows to
+        // zero for subnormal column norms, turning `rel` into a division by
+        // zero (NaN when aij == 0 too) that then poisons the rotation.
+        const real_t denom = std::sqrt(aii) * std::sqrt(ajj);
+        if (denom == 0.0) continue;
+        const real_t rel = std::abs(aij) / denom;
         off = std::max(off, rel);
         if (rel <= kConvergence) continue;
         // Jacobi rotation zeroing the (i,j) Gram entry.

@@ -50,6 +50,7 @@ Lattice chain(int n) {
   lat.length = n;
   lat.circumference = 1;
   lat.num_sites = n;
+  lat.bonds.reserve(static_cast<std::size_t>(n - 1));
   for (int i = 0; i + 1 < n; ++i) lat.bonds.push_back({i, i + 1, 0});
   return lat;
 }

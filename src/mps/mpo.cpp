@@ -39,6 +39,7 @@ index_t Mpo::max_bond_dim() const {
 
 std::vector<index_t> Mpo::bond_dims() const {
   std::vector<index_t> out;
+  if (size() > 1) out.reserve(static_cast<std::size_t>(size() - 1));
   for (int j = 0; j + 1 < size(); ++j) out.push_back(bond_dim(j));
   return out;
 }

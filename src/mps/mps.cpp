@@ -27,6 +27,7 @@ Mps Mps::product_state(SiteSetPtr sites, const std::vector<int>& sector_per_site
   const int rank = sites->qn_rank();
 
   std::vector<BlockTensor> tensors;
+  tensors.reserve(static_cast<std::size_t>(n));
   QN accum = QN::zero(rank);
   for (int j = 0; j < n; ++j) {
     const int sec = sector_per_site[static_cast<std::size_t>(j)];
@@ -72,6 +73,7 @@ Mps Mps::random(SiteSetPtr sites, const QN& total, index_t m, Rng& rng) {
 
   // Bond indices: bond j sits right of site j; boundary bonds are dim-1.
   std::vector<Index> bonds;
+  bonds.reserve(static_cast<std::size_t>(n) + 1);
   bonds.push_back(Index::single(QN::zero(rank), 1, Dir::Out));
   for (int j = 0; j + 1 < n; ++j) {
     std::vector<Sector> sectors;
@@ -102,6 +104,7 @@ Mps Mps::random(SiteSetPtr sites, const QN& total, index_t m, Rng& rng) {
   bonds.push_back(Index::single(total, 1, Dir::Out));
 
   std::vector<BlockTensor> tensors;
+  tensors.reserve(static_cast<std::size_t>(n));
   for (int j = 0; j < n; ++j) {
     tensors.push_back(BlockTensor::random(
         {bonds[static_cast<std::size_t>(j)].reversed(), sites->phys(),
@@ -148,6 +151,7 @@ index_t Mps::max_bond_dim() const {
 
 std::vector<index_t> Mps::bond_dims() const {
   std::vector<index_t> out;
+  if (size() > 1) out.reserve(static_cast<std::size_t>(size() - 1));
   for (int j = 0; j + 1 < size(); ++j) out.push_back(bond_dim(j));
   return out;
 }

@@ -10,6 +10,9 @@ SiteSet::SiteSet(int num_sites, symm::Index phys, std::map<std::string, LocalOp>
   TT_CHECK(phys_.dir() == symm::Dir::In, "physical index must have direction In");
 
   // State → sector lookup tables.
+  state_qn_.reserve(static_cast<std::size_t>(phys_.dim()));
+  state_sector_.reserve(static_cast<std::size_t>(phys_.dim()));
+  state_local_.reserve(static_cast<std::size_t>(phys_.dim()));
   for (int s = 0; s < phys_.num_sectors(); ++s) {
     const auto& sec = phys_.sector(s);
     for (index_t l = 0; l < sec.dim; ++l) {

@@ -61,20 +61,32 @@ WorkerTask parse_task(const std::vector<std::byte>& payload) {
   task.fail_task = r.u32() != 0;
   task.timeout_seconds = r.f64();
 
+  // Every element count below sizes an allocation, so bound it by what the
+  // frame could possibly hold (each table entry / bin / pair costs at least
+  // 8 bytes on the wire) before trusting it — a torn length prefix must
+  // surface as a clean Error, not a gigabyte reserve.
   const std::uint64_t na = r.u64();
+  TT_CHECK(na <= r.remaining() / 8,
+           "task frame claims " << na << " A blocks in " << r.remaining() << " bytes");
   task.table_a.reserve(static_cast<std::size_t>(na));
   for (std::uint64_t i = 0; i < na; ++i) task.table_a.push_back(r.tensor());
   const std::uint64_t nb = r.u64();
+  TT_CHECK(nb <= r.remaining() / 8,
+           "task frame claims " << nb << " B blocks in " << r.remaining() << " bytes");
   task.table_b.reserve(static_cast<std::size_t>(nb));
   for (std::uint64_t i = 0; i < nb; ++i) task.table_b.push_back(r.tensor());
 
   const std::uint64_t nbins = r.u64();
+  TT_CHECK(nbins <= r.remaining() / 16,
+           "task frame claims " << nbins << " bins in " << r.remaining() << " bytes");
   task.bin_index.reserve(static_cast<std::size_t>(nbins));
   task.bins.reserve(static_cast<std::size_t>(nbins));
   for (std::uint64_t i = 0; i < nbins; ++i) {
     task.bin_index.push_back(r.u64());
     symm::OutputBin bin;
     const std::uint64_t npairs = r.u64();
+    TT_CHECK(npairs <= r.remaining() / 8,
+             "task bin claims " << npairs << " pairs in " << r.remaining() << " bytes");
     bin.pairs.reserve(static_cast<std::size_t>(npairs));
     for (std::uint64_t p = 0; p < npairs; ++p) {
       const std::uint32_t ia = r.u32();
@@ -384,9 +396,9 @@ symm::BlockTensor Scheduler::contract(const symm::BlockTensor& a,
       // distributed operand ships only blocks this rank's bins reference, in
       // first-touch (bin, pair) order — deterministic either way.
       std::vector<const tensor::DenseTensor*> table_a, table_b;
+      // tt-lint: allow(ordered-iteration) lookup-only interning index: never iterated; shipped table order is first-touch insertion order, which is deterministic
       std::unordered_map<const tensor::DenseTensor*, std::uint32_t> index_a, index_b;
-      auto intern = [](std::vector<const tensor::DenseTensor*>& table,
-                       std::unordered_map<const tensor::DenseTensor*, std::uint32_t>& index,
+      auto intern = [](std::vector<const tensor::DenseTensor*>& table, auto& index,
                        const tensor::DenseTensor* blk) {
         auto [it, fresh] = index.try_emplace(blk, static_cast<std::uint32_t>(table.size()));
         if (fresh) table.push_back(blk);
@@ -536,6 +548,11 @@ symm::BlockTensor Scheduler::contract(const symm::BlockTensor& a,
           bin.flops = reader.f64();
           bin.permuted_words = reader.f64();
           const std::uint64_t nops = reader.u64();
+          // 4 doubles per op on the wire; bound before the resize so a
+          // corrupt count heals instead of OOMing the root.
+          TT_CHECK(nops <= reader.remaining() / 32,
+                   "result bin claims " << nops << " ops in "
+                                        << reader.remaining() << " bytes");
           bin.ops.resize(static_cast<std::size_t>(nops));
           for (symm::BlockOpCost& op : bin.ops) {
             op.flops = reader.f64();

@@ -252,6 +252,7 @@ std::vector<std::byte> Trace::serialize_and_clear() {
   for (auto& buf : r.buffers) {
     std::lock_guard<std::mutex> bl(buf->mu);
     dropped += buf->dropped;
+    flat.reserve(flat.size() + buf->events.size());
     for (const TraceEvent& e : buf->events)
       flat.push_back({name_index(e.name), static_cast<std::uint32_t>(e.cat),
                       e.is_counter ? 1u : 0u,
@@ -287,6 +288,11 @@ void Trace::absorb(const std::vector<std::byte>& payload, int rank) {
   (void)reader.u32();  // worker's own rank claim; the root's channel wins
   const std::uint64_t dropped = reader.u64();
   const std::uint64_t nnames = reader.u64();
+  // Each interned name costs at least its 8-byte length prefix; bound the
+  // count before reserving so a torn trace frame raises instead of OOMing.
+  TT_CHECK(nnames <= reader.remaining() / 8,
+           "trace frame claims " << nnames << " names in " << reader.remaining()
+                                 << " bytes");
 
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);

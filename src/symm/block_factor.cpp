@@ -174,6 +174,7 @@ BlockQr block_qr(const BlockTensor& a, const std::vector<int>& row_modes) {
 
   // Bond sectors: one per group, charge g, dim = min(rows, cols).
   std::vector<Sector> bond_sectors;
+  bond_sectors.reserve(groups.size());
   for (const Group& grp : groups)
     bond_sectors.push_back({grp.g, std::min(grp.rows.total, grp.cols.total)});
   const Index bond_out(bond_sectors, Dir::Out);
@@ -207,6 +208,7 @@ BlockLq block_lq(const BlockTensor& a, const std::vector<int>& row_modes) {
   // Bond charge is g − flux so that Q (bond + col modes) carries flux 0 with
   // the bond direction In — preserving the MPS leg convention downstream.
   std::vector<Sector> bond_sectors;
+  bond_sectors.reserve(groups.size());
   for (const Group& grp : groups)
     bond_sectors.push_back({grp.g - a.flux(), std::min(grp.rows.total, grp.cols.total)});
   const Index bond_out(bond_sectors, Dir::Out);
@@ -290,6 +292,11 @@ BlockSvd block_svd(const BlockTensor& a, const std::vector<int>& row_modes,
     std::size_t group;
   };
   std::vector<Sv> pool;
+  {
+    std::size_t nsv = 0;
+    for (const auto& f : factors) nsv += f.s.size();
+    pool.reserve(nsv);
+  }
   for (std::size_t gi = 0; gi < factors.size(); ++gi)
     for (real_t s : factors[gi].s) pool.push_back({s, gi});
   std::stable_sort(pool.begin(), pool.end(),

@@ -26,11 +26,14 @@ ContractPlan make_contract_plan(const BlockTensor& a, const BlockTensor& b,
   }
 
   ContractPlan plan;
+  plan.free_a.reserve(static_cast<std::size_t>(a.order()));
+  plan.free_b.reserve(static_cast<std::size_t>(b.order()));
   for (int m = 0; m < a.order(); ++m)
     if (!con_a[static_cast<std::size_t>(m)]) plan.free_a.push_back(m);
   for (int m = 0; m < b.order(); ++m)
     if (!con_b[static_cast<std::size_t>(m)]) plan.free_b.push_back(m);
 
+  plan.out_indices.reserve(plan.free_a.size() + plan.free_b.size());
   for (int m : plan.free_a) plan.out_indices.push_back(a.index(m));
   for (int m : plan.free_b) plan.out_indices.push_back(b.index(m));
   plan.out_flux = a.flux() + b.flux();
@@ -48,6 +51,7 @@ ContractPlan make_contract_plan(const BlockTensor& a, const BlockTensor& b,
     ++next;
   }
   std::string lc;
+  lc.reserve(plan.free_a.size() + plan.free_b.size());
   for (int m : plan.free_a) lc.push_back(la[static_cast<std::size_t>(m)]);
   for (int m : plan.free_b) lc.push_back(lb[static_cast<std::size_t>(m)]);
   plan.spec = la + "," + lb + "->" + lc;

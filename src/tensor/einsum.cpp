@@ -47,7 +47,12 @@ Plan make_plan(const EinsumSpec& spec, const std::vector<index_t>& sa,
   TT_CHECK(spec.b.size() == sb.size(), "einsum: spec '" << spec.b << "' does not match order "
                                                         << sb.size() << " of second operand");
   Plan p;
+  p.free_a.reserve(spec.a.size());
+  p.con_a.reserve(spec.a.size());
+  p.con_b.reserve(spec.a.size());
+  p.free_b.reserve(spec.b.size());
   std::string tmp_labels;
+  tmp_labels.reserve(spec.c.size());
   for (std::size_t i = 0; i < spec.a.size(); ++i) {
     const char l = spec.a[i];
     const bool in_b = contains_char(spec.b, l);
@@ -338,11 +343,17 @@ SparseTensor einsum_ss(const std::string& spec_str, const SparseTensor& a,
 #else
   const int nthreads = 1;
 #endif
+  // tt-lint: allow(ordered-iteration) accumulator only; drained below via a flat-sorted vector, never iterated in hash order
   std::vector<std::unordered_map<index_t, real_t>> partial(
       static_cast<std::size_t>(nthreads));
   std::vector<double> partial_flops(static_cast<std::size_t>(nthreads), 0.0);
 
-#pragma omp parallel for schedule(dynamic, 8) if (groups.size() > 16 && openmp_allowed())
+// schedule(static), not dynamic: the group→thread assignment decides which
+// per-thread map each contribution lands in, and therefore the order
+// duplicates merge in below. Static chunking makes that assignment a pure
+// function of (groups.size(), nthreads), so results are bitwise reproducible
+// run to run.
+#pragma omp parallel for schedule(static) if (groups.size() > 16 && openmp_allowed())
   for (std::size_t g = 0; g < groups.size(); ++g) {
 #ifdef _OPENMP
     auto& acc = partial[static_cast<std::size_t>(omp_get_thread_num())];
@@ -361,8 +372,19 @@ SparseTensor einsum_ss(const std::string& spec_str, const SparseTensor& a,
       }
     }
   }
+  // Drain each thread's accumulator in ascending flat order, threads in rank
+  // order: iterating the unordered_map directly would feed out.add() in
+  // hash-dependent order, and SparseTensor::finalize sums duplicate flats in
+  // insertion order — hash order leaking in here is exactly the
+  // nondeterminism the ordered-iteration lint rule exists to catch.
+  std::vector<std::pair<index_t, real_t>> drain;
   for (int t = 0; t < nthreads; ++t) {
-    for (const auto& [flat, v] : partial[static_cast<std::size_t>(t)]) out.add(flat, v);
+    // tt-lint: allow(ordered-iteration) copied out then sorted by flat index before any order-sensitive use
+    drain.assign(partial[static_cast<std::size_t>(t)].cbegin(),
+                 partial[static_cast<std::size_t>(t)].cend());
+    std::sort(drain.begin(), drain.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (const auto& [flat, v] : drain) out.add(flat, v);
     flops += partial_flops[static_cast<std::size_t>(t)];
   }
   out.finalize();

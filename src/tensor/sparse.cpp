@@ -38,8 +38,12 @@ void SparseTensor::finalize() {
   if (finalized_) return;
   std::vector<std::size_t> order(idx_.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(),
-            [&](std::size_t a, std::size_t b) { return idx_[a] < idx_[b]; });
+  // stable_sort, not sort: duplicate flats are summed below in sorted-run
+  // order, so equal keys must keep their insertion order or the FP
+  // accumulation order (and hence the bitwise result) would depend on
+  // introsort tie-breaking.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return idx_[a] < idx_[b]; });
 
   std::vector<index_t> new_idx;
   std::vector<real_t> new_val;

@@ -127,6 +127,43 @@ TEST(Svd, HugeDynamicRange) {
   EXPECT_NEAR(f.s[2], 1e-6, 1e-14);
 }
 
+TEST(Svd, SubnormalColumnNormsDoNotDivideByZero) {
+  // Column norms around 1e-100 square to ~1e-200 each; their PRODUCT
+  // (aii*ajj ~ 1e-400) underflows double entirely. The Jacobi convergence
+  // test used to divide |aij| by sqrt(aii*ajj) == 0 — a float division by
+  // zero (NaN when the columns happen to be orthogonal) caught by the ubsan
+  // preset. The factorization must stay finite and exact instead.
+  Matrix a(3, 3);
+  a(0, 0) = 3e-100;
+  a(0, 1) = 4e-100;
+  a(1, 0) = -4e-100;
+  a(1, 1) = 3e-100;
+  a(2, 2) = 1e-120;
+  auto f = tt::linalg::svd(a);
+  ASSERT_EQ(f.s.size(), 3u);
+  for (double s : f.s) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GE(s, 0.0);
+  }
+  EXPECT_NEAR(f.s[0], 5e-100, 1e-110);
+  EXPECT_NEAR(f.s[1], 5e-100, 1e-110);
+  Matrix utu = tt::linalg::matmul(true, false, f.u, f.u);
+  EXPECT_LT(tt::linalg::max_abs_diff(utu, Matrix::identity(3)), 1e-8);
+}
+
+TEST(Svd, TinyOrthogonalDiagonalStaysExact) {
+  // aij == 0 with underflowing aii*ajj (1e-200 each squares the product to
+  // 1e-400 == 0.0) used to produce 0/0 == NaN in the off-diagonal
+  // convergence measure; pin the already-diagonal tiny case. The norms
+  // themselves (1e-200) stay normal doubles, so the values are exact.
+  Matrix a(2, 2);
+  a(0, 0) = 2e-100;
+  a(1, 1) = 1e-100;
+  auto f = tt::linalg::svd(a);
+  EXPECT_DOUBLE_EQ(f.s[0], 2e-100);
+  EXPECT_DOUBLE_EQ(f.s[1], 1e-100);
+}
+
 TEST(SvdRank, CutoffAndCap) {
   std::vector<double> s{1.0, 0.5, 1e-3, 1e-13, 0.0};
   EXPECT_EQ(tt::linalg::svd_rank(s, 1e-12, 100), 3);

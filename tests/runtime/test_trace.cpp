@@ -22,6 +22,7 @@
 #include "runtime/machine.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/trace.hpp"
+#include "runtime/wire.hpp"
 #include "spawn_modes.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -211,6 +212,17 @@ TEST_F(TraceTest, AbsorbRejectsMalformedPayloads) {
   Trace::instance().stop();
   payload.resize(payload.size() / 2);
   EXPECT_THROW(Trace::instance().absorb(payload, 1), tt::Error);
+}
+
+TEST_F(TraceTest, AbsorbBoundsNameCountBeforeReserving) {
+  // A torn trace frame can claim an absurd name-table size; absorb must
+  // raise a clean Error from the TT_CHECK bound, not reserve gigabytes.
+  tt::rt::WireWriter w;
+  w.u32(1);                      // format version
+  w.u32(3);                      // worker rank claim
+  w.u64(0);                      // dropped
+  w.u64(std::uint64_t{1} << 61); // names "table"
+  EXPECT_THROW(Trace::instance().absorb(w.take(), 1), tt::Error);
 }
 
 TEST_P(TraceModes, SchedulerContractionYieldsSpansFromEveryRank) {

@@ -27,11 +27,13 @@ using tt::rt::WireWriter;
 using tt::rt::WorkerGroup;
 
 std::vector<std::byte> payload_of(const std::string& s) {
+  // tt-lint: allow(raw-cast-audit) test helper builds raw byte frames from string payloads
   const auto* b = reinterpret_cast<const std::byte*>(s.data());
   return std::vector<std::byte>(b, b + s.size());
 }
 
 std::string text_of(const Frame& f) {
+  // tt-lint: allow(raw-cast-audit) test helper views received frame bytes as text
   return std::string(reinterpret_cast<const char*>(f.payload.data()),
                      f.payload.size());
 }

@@ -78,6 +78,37 @@ TEST(Wire, ScalarTensorRoundTrips) {
   EXPECT_EQ(back[0], -2.5);
 }
 
+TEST(Wire, ChecksumIsBytewiseFnv1aAtAnyAlignment) {
+  // The frame checksum must be a pure function of the byte sequence — never
+  // of the buffer's alignment or a word-at-a-time read width. Pin FNV-1a
+  // against an independent byte-wise reference, including a deliberately
+  // misaligned view one byte into the buffer (the ubsan leg would flag a
+  // future vectorized rewrite that loads words through the unaligned
+  // pointer).
+  Rng rng(41);
+  std::vector<std::byte> buf(129);
+  for (auto& b : buf)
+    b = static_cast<std::byte>(static_cast<unsigned char>(rng.integer(0, 255)));
+
+  auto reference = [](const std::byte* p, std::size_t n) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= static_cast<std::uint64_t>(std::to_integer<unsigned char>(p[i]));
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  };
+
+  EXPECT_EQ(tt::rt::wire_checksum(buf.data(), buf.size()),
+            reference(buf.data(), buf.size()));
+  EXPECT_EQ(tt::rt::wire_checksum(buf.data() + 1, buf.size() - 1),
+            reference(buf.data() + 1, buf.size() - 1));
+  EXPECT_EQ(tt::rt::wire_checksum(buf.data() + 7, 64),
+            reference(buf.data() + 7, 64));
+  // Golden value: the empty checksum is the FNV offset basis.
+  EXPECT_EQ(tt::rt::wire_checksum(buf.data(), 0), 0xcbf29ce484222325ull);
+}
+
 TEST(Wire, TruncatedMessageThrowsOnEveryFieldType) {
   WireWriter w;
   w.u64(42);

@@ -4,9 +4,11 @@
 
 namespace {
 
+// tt-lint: allow(check-macro) exercising the message-less form of the macro on purpose
 TEST(Error, CheckPassesOnTrue) { EXPECT_NO_THROW(TT_CHECK(1 + 1 == 2)); }
 
 TEST(Error, CheckThrowsOnFalse) {
+  // tt-lint: allow(check-macro) exercising the message-less form of the macro on purpose
   EXPECT_THROW(TT_CHECK(false), tt::Error);
 }
 
@@ -37,6 +39,7 @@ TEST(Error, ErrorIsARuntimeError) {
 
 TEST(Error, CheckWithoutMessageStillThrows) {
   try {
+    // tt-lint: allow(check-macro) the message-less form is the behaviour under test
     TT_CHECK(false);
     FAIL() << "expected throw";
   } catch (const tt::Error& e) {

@@ -1,0 +1,22 @@
+// Seeded violations for the check-macro rule. Never compiled.
+#include "support/error.hpp"
+
+namespace fixture {
+
+int compute();
+
+void checks(int n, int limit) {
+  TT_CHECK(n < limit);  // EXPECT(check-macro)
+  TT_CHECK(n < limit, "");  // EXPECT(check-macro)
+  TT_CHECK(n++ < limit, "post-increment in the condition");  // EXPECT(check-macro)
+  TT_CHECK(n = compute(), "assignment in the condition");  // EXPECT(check-macro)
+  TT_FAIL();  // EXPECT(check-macro)
+
+  // Clean forms that must NOT flag: comparison operators and compound
+  // conditions are not side effects, and multi-line messages are fine.
+  TT_CHECK(n <= limit && n >= -limit, "n " << n << " outside [-" << limit
+                                           << ", " << limit << "]");
+  TT_ASSERT(n != limit, "boundary value " << n);
+}
+
+}  // namespace fixture

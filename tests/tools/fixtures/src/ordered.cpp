@@ -1,0 +1,24 @@
+// Seeded violations for the ordered-iteration rule. Each flagged line carries
+// an inline expectation marker consumed by tests/tools/test_tt_lint.py; this
+// file is lint fodder, never compiled.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Stats {
+  std::unordered_map<int, double> per_bin;  // EXPECT(ordered-iteration)
+};
+
+double sum_in_hash_order(const Stats& s) {
+  std::unordered_set<int> seen;  // EXPECT(ordered-iteration)
+  double total = 0.0;
+  for (const auto& kv : s.per_bin) {  // EXPECT(ordered-iteration)
+    total += kv.second;
+  }
+  auto it = seen.begin();  // EXPECT(ordered-iteration)
+  (void)it;
+  return total;
+}
+
+}  // namespace fixture

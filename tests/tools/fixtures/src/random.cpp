@@ -1,0 +1,23 @@
+// Seeded violations for the no-wallclock-random rule. Never compiled.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+double noise() {
+  std::random_device rd;                         // EXPECT(no-wallclock-random)
+  std::mt19937_64 unseeded;                      // EXPECT(no-wallclock-random)
+  std::default_random_engine meh(1);             // EXPECT(no-wallclock-random)
+  srand(static_cast<unsigned>(time(nullptr)));   // EXPECT(no-wallclock-random) EXPECT(no-wallclock-random)
+  const int r = rand();                          // EXPECT(no-wallclock-random)
+  const auto t = std::chrono::system_clock::now();  // EXPECT(no-wallclock-random)
+  (void)t;
+  return static_cast<double>(r) + static_cast<double>(rd()) +
+         static_cast<double>(unseeded());
+
+  // Explicitly seeded engines are the sanctioned pattern and must NOT flag.
+  // std::mt19937_64 good(0x5eedULL);
+}
+
+}  // namespace fixture

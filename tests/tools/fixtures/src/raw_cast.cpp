@@ -1,0 +1,11 @@
+// Seeded violation for the raw-cast-audit rule: reinterpret_cast outside the
+// serialization layer. Never compiled.
+#include <cstdint>
+
+namespace fixture {
+
+double type_pun(const std::uint64_t* bits) {
+  return *reinterpret_cast<const double*>(bits);  // EXPECT(raw-cast-audit)
+}
+
+}  // namespace fixture

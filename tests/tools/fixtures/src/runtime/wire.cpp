@@ -1,0 +1,12 @@
+// Mirrors the real serialization layer's path (src/runtime/wire.cpp), which
+// is on the raw-cast-audit allowlist: casts here must NOT flag. Never compiled.
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+const std::byte* as_bytes(const double* p) {
+  return reinterpret_cast<const std::byte*>(p);  // allowlisted: no finding
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Waiver-hygiene violations: waivers must name real rules, carry a reason,
+// and actually suppress something. EXPECT-NEXT markers anchor a finding to
+// the following line (the waiver comment itself). Never compiled.
+#include <cstdint>
+
+namespace fixture {
+
+const double* suppressed_but_unjustified(const std::uint64_t* bits) {
+  // EXPECT-NEXT(bare-waiver)
+  // tt-lint: allow(raw-cast-audit)
+  return reinterpret_cast<const double*>(bits);
+}
+
+// EXPECT-NEXT(unknown-rule)
+// tt-lint: allow(made-up-rule) reasons do not legitimize unknown rules
+int unknown_rule_waiver();
+
+// EXPECT-NEXT(unused-waiver)
+// tt-lint: allow(check-macro) suppresses nothing below
+int unused_waiver();
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Seeded violations for the wire-bounds rule: lengths read off the wire must
+// be TT_CHECK-bounded before they size an allocation. Never compiled.
+#include <cstdint>
+#include <vector>
+
+#include "runtime/wire.hpp"
+#include "support/error.hpp"
+
+namespace fixture {
+
+void parse(const std::vector<std::byte>& payload) {
+  tt::rt::WireReader r(payload);
+
+  const std::uint64_t bad_n = r.u64();
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(bad_n));  // EXPECT(wire-bounds)
+
+  const std::uint64_t bad_m = r.u64();
+  v.resize(static_cast<std::size_t>(bad_m));  // EXPECT(wire-bounds)
+
+  // Validated first: this is the pattern the rule wants, and must NOT flag.
+  const std::uint64_t good_n = r.u64();
+  TT_CHECK(good_n <= r.remaining() / 8, "frame claims " << good_n << " entries");
+  std::vector<double> ok;
+  ok.reserve(static_cast<std::size_t>(good_n));
+}
+
+}  // namespace fixture

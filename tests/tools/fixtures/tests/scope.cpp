@@ -1,0 +1,20 @@
+// Scope fixture: ordered-iteration and no-wallclock-random are src/-only
+// contracts — tests may shuffle and sample freely, so nothing here flags for
+// those rules. check-macro still applies everywhere. Never compiled.
+#include <random>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace fixture {
+
+double tests_may_do_this() {
+  std::unordered_map<int, double> m;  // no finding: tests scope
+  std::random_device rd;              // no finding: tests scope
+  double total = static_cast<double>(rd());
+  for (const auto& kv : m) total += kv.second;  // no finding: tests scope
+  TT_CHECK(total >= 0.0);  // EXPECT(check-macro)
+  return total;
+}
+
+}  // namespace fixture
